@@ -1,0 +1,108 @@
+//===- bench/ablation.cpp - Design-choice ablations -----------------------===//
+//
+// Part of Parsynt-CXX, a reproduction of "Synthesis of Divide and Conquer
+// Parallelism for Loops" (PLDI 2017).
+//
+//===----------------------------------------------------------------------===//
+//
+// Ablations for the design choices called out in DESIGN.md §5:
+//   A. the C(E) sketch vs. pure free-grammar synthesis (Proposition 4.4's
+//      search-space reduction);
+//   B. the free-grammar fallback disabled (how much the sketch alone
+//      covers);
+//   C. normalization search budget (cost-directed best-first convergence).
+//
+//===----------------------------------------------------------------------===//
+
+#include "normalize/Normalizer.h"
+#include "lift/Unfold.h"
+#include "pipeline/Parallelizer.h"
+#include "suite/Benchmarks.h"
+#include "synth/JoinSynth.h"
+
+#include <cstdio>
+
+using namespace parsynt;
+
+namespace {
+
+const char *Probes[] = {"sum",  "2nd-min",   "mps",       "mts",
+                        "mss",  "is-sorted", "dropwhile", "0after1"};
+
+void ablationSketch() {
+  std::printf("A. Sketch C(E) vs free-grammar synthesis (join synthesis on "
+              "the already-lifted/parallelizable loop)\n");
+  std::printf("%-10s | %-28s | %-28s\n", "benchmark",
+              "sketch (s, assignments)", "free only (s, enumerated)");
+  for (const char *Name : Probes) {
+    Loop L = parseBenchmark(*findBenchmark(Name));
+    // Obtain the lifted loop via the full pipeline once.
+    PipelineResult Prepared = parallelizeLoop(L);
+    if (!Prepared.Success) {
+      std::printf("%-10s | pipeline failed\n", Name);
+      continue;
+    }
+    JoinSynthOptions WithSketch;
+    JoinResult A = synthesizeJoin(Prepared.Final, WithSketch);
+    JoinSynthOptions FreeOnly;
+    FreeOnly.UseSketch = false;
+    JoinResult B = synthesizeJoin(Prepared.Final, FreeOnly);
+    std::printf("%-10s | %-5s %6.2fs %12llu | %-5s %6.2fs %12llu\n", Name,
+                A.Success ? "ok" : "fail", A.Stats.Seconds,
+                (unsigned long long)A.Stats.SketchAssignmentsTried,
+                B.Success ? "ok" : "fail", B.Stats.Seconds,
+                (unsigned long long)B.Stats.EnumeratedCandidates);
+  }
+  std::printf("\n");
+}
+
+void ablationFallback() {
+  std::printf("B. Sketch-only (free-grammar fallback disabled)\n");
+  std::printf("%-10s | %-8s | %-8s\n", "benchmark", "default", "no-fallback");
+  for (const char *Name : Probes) {
+    Loop L = parseBenchmark(*findBenchmark(Name));
+    PipelineResult Prepared = parallelizeLoop(L);
+    if (!Prepared.Success)
+      continue;
+    JoinSynthOptions NoFallback;
+    NoFallback.AllowFallback = false;
+    JoinResult A = synthesizeJoin(Prepared.Final);
+    JoinResult B = synthesizeJoin(Prepared.Final, NoFallback);
+    std::printf("%-10s | %-8s | %-8s\n", Name, A.Success ? "ok" : "fail",
+                B.Success ? "ok" : "fail");
+  }
+  std::printf("\n");
+}
+
+void ablationNormalizeBudget() {
+  std::printf("C. Normalization budget (balanced-() second unfolding; cost "
+              "= (unknown depth, occurrences))\n");
+  Loop L = materializeIndex(parseBenchmark(*findBenchmark("balanced-()")));
+  Unfolding U = unfoldLoop(L, 2, /*FromUnknowns=*/true);
+  ExprRef Tau = U.ValuesAtStep.at("bal")[2];
+  std::set<std::string> Unknowns;
+  for (const Equation &Eq : L.Equations)
+    Unknowns.insert(unknownName(Eq.Name));
+
+  std::printf("%-12s | %-10s | %-10s | %s\n", "expansions", "cost depth",
+              "cost occs", "generated");
+  for (unsigned Budget : {10u, 50u, 200u, 1000u, 4000u}) {
+    NormalizeOptions Opts;
+    Opts.MaxExpansions = Budget;
+    NormalizeStats Stats;
+    ExprRef Ell = normalizeExpr(Tau, Unknowns, Opts, &Stats);
+    ExprCost Cost = exprCost(Ell, Unknowns);
+    std::printf("%-12u | %-10u | %-10u | %u\n", Budget, Cost.MaxDepth,
+                Cost.Occurrences, Stats.Generated);
+  }
+  std::printf("\n");
+}
+
+} // namespace
+
+int main() {
+  ablationSketch();
+  ablationFallback();
+  ablationNormalizeBudget();
+  return 0;
+}

@@ -1,0 +1,111 @@
+//===- bench/micro.cpp - google-benchmark micro benchmarks ----------------===//
+//
+// Part of Parsynt-CXX, a reproduction of "Synthesis of Divide and Conquer
+// Parallelism for Loops" (PLDI 2017).
+//
+//===----------------------------------------------------------------------===//
+//
+// Microbenchmarks for the building blocks whose throughput bounds the whole
+// system: the interpreter (every synthesis oracle evaluation), the
+// bottom-up enumerator, the rewrite engine, and the runtime's reduce
+// skeleton.
+//
+//===----------------------------------------------------------------------===//
+
+#include "interp/Interp.h"
+#include "interp/SemanticEq.h"
+#include "normalize/Normalizer.h"
+#include "runtime/ParallelReduce.h"
+#include "suite/Benchmarks.h"
+#include "suite/Kernels.h"
+#include "synth/Enumerator.h"
+
+#include <benchmark/benchmark.h>
+
+using namespace parsynt;
+
+namespace {
+
+void BM_InterpRunLoop(benchmark::State &State) {
+  Loop L = parseBenchmark(*findBenchmark("mss"));
+  SeqEnv Seqs;
+  std::vector<Value> Elems;
+  Rng R(1);
+  for (int I = 0; I != 1024; ++I)
+    Elems.push_back(Value::ofInt(R.intIn(-50, 50)));
+  Seqs["s"] = std::move(Elems);
+  for (auto _ : State) {
+    StateTuple S = runLoop(L, Seqs);
+    benchmark::DoNotOptimize(S);
+  }
+  State.SetItemsProcessed(State.iterations() * 1024);
+}
+BENCHMARK(BM_InterpRunLoop);
+
+void BM_EnumeratorGrow(benchmark::State &State) {
+  Rng R(2);
+  std::vector<Env> Envs = sampleEnvs(
+      {{"a_l", Type::Int}, {"a_r", Type::Int}, {"b_l", Type::Int},
+       {"b_r", Type::Int}},
+      64, R);
+  for (auto _ : State) {
+    EnumeratorOptions Opts;
+    Opts.MaxSize = static_cast<unsigned>(State.range(0));
+    Enumerator E(Envs, Opts);
+    E.addLeaf(inputVar("a_l"));
+    E.addLeaf(inputVar("a_r"));
+    E.addLeaf(inputVar("b_l"));
+    E.addLeaf(inputVar("b_r"));
+    E.addLeaf(intConst(0));
+    E.addLeaf(intConst(1));
+    E.run();
+    benchmark::DoNotOptimize(E.totalCandidates());
+    State.counters["candidates"] =
+        static_cast<double>(E.totalCandidates());
+  }
+}
+BENCHMARK(BM_EnumeratorGrow)->Arg(3)->Arg(5)->Arg(7);
+
+void BM_NormalizeMtsUnfolding(benchmark::State &State) {
+  ExprRef U = unknownVar("mts@0");
+  ExprRef Tau = U;
+  for (int Step = 1; Step <= State.range(0); ++Step)
+    Tau = maxE(add(Tau, inputVar("s@" + std::to_string(Step))), intConst(0));
+  for (auto _ : State) {
+    ExprRef Ell = normalizeExpr(Tau, {"mts@0"});
+    benchmark::DoNotOptimize(Ell);
+  }
+}
+BENCHMARK(BM_NormalizeMtsUnfolding)->Arg(2)->Arg(3);
+
+void BM_ParallelReduceSum(benchmark::State &State) {
+  const NativeKernel &K = *findKernel("sum");
+  size_t N = 1 << 22;
+  std::vector<int64_t> A = generateInput(K.Kind, N, 3);
+  TaskPool Pool(static_cast<unsigned>(State.range(0)));
+  for (auto _ : State) {
+    KState S = parallelReduce<KState>(
+        BlockedRange{0, N, 50000}, Pool,
+        [&](size_t B, size_t E) { return K.Leaf(A.data(), nullptr, B, E); },
+        [&](const KState &L, const KState &R) { return K.Join(L, R); });
+    benchmark::DoNotOptimize(S);
+  }
+  State.SetBytesProcessed(State.iterations() * N * sizeof(int64_t));
+}
+BENCHMARK(BM_ParallelReduceSum)->Arg(1)->Arg(2)->Arg(4);
+
+void BM_TaskPoolSpawnJoin(benchmark::State &State) {
+  TaskPool Pool(4);
+  for (auto _ : State) {
+    TaskGroup Group;
+    for (int I = 0; I != 256; ++I)
+      Pool.spawn(Group, [] {});
+    Pool.wait(Group);
+  }
+  State.SetItemsProcessed(State.iterations() * 256);
+}
+BENCHMARK(BM_TaskPoolSpawnJoin);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,56 @@
+//===- frontend/Convert.h - Imperative -> equations (Appendix A) -*- C++ -*-===//
+//
+// Part of Parsynt-CXX, a reproduction of "Synthesis of Divide and Conquer
+// Parallelism for Loops" (PLDI 2017).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Conversion of a parsed loop into the recurrence-equation model of paper
+/// Section 3.3, following the procedure of Appendix A: statements are
+/// visited in order, assignments substitute the current symbolic value of
+/// every state variable into their right-hand side, and the two arms of a
+/// conditional are merged into conditional expressions (the phi-merge of the
+/// appendix). The result is a Loop whose equations all read the
+/// start-of-iteration state (simultaneous-assignment semantics).
+///
+/// Name resolution and type inference also happen here: a variable assigned
+/// in the loop body is a state variable (it must be initialized before the
+/// loop); a variable only read is an input parameter; `MAX_INT`/`MIN_INT`
+/// resolve to the sentinel constants below.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PARSYNT_FRONTEND_CONVERT_H
+#define PARSYNT_FRONTEND_CONVERT_H
+
+#include "frontend/Parser.h"
+#include "ir/Loop.h"
+
+#include <memory>
+#include <optional>
+
+namespace parsynt {
+
+/// Sentinel value `MAX_INT` resolves to. Chosen large enough to act as an
+/// identity for min over any realistic data, yet small enough that sums and
+/// differences of a few sentinels stay far from the int64 boundary.
+inline constexpr int64_t MaxIntSentinel = int64_t(1) << 40;
+/// Sentinel value `MIN_INT` resolves to.
+inline constexpr int64_t MinIntSentinel = -(int64_t(1) << 40);
+
+/// Converts a parsed program into the recurrence-equation loop model.
+/// Returns nullopt (with diagnostics in \p Diags) on name-resolution or
+/// type errors. \p Name is recorded as the loop's name.
+std::optional<Loop> convertProgram(const surface::SProgram &Program,
+                                   const std::string &Name,
+                                   DiagnosticEngine &Diags);
+
+/// Convenience: parse + convert in one step.
+std::optional<Loop> parseLoop(const std::string &Source,
+                              const std::string &Name,
+                              DiagnosticEngine &Diags);
+
+} // namespace parsynt
+
+#endif // PARSYNT_FRONTEND_CONVERT_H

@@ -1,0 +1,347 @@
+//===- frontend/Lexer.cpp - Tokenizer for the input language --------------===//
+//
+// Part of Parsynt-CXX, a reproduction of "Synthesis of Divide and Conquer
+// Parallelism for Loops" (PLDI 2017).
+//
+//===----------------------------------------------------------------------===//
+
+#include "frontend/Lexer.h"
+
+#include <cctype>
+
+using namespace parsynt;
+
+const char *parsynt::tokKindName(TokKind Kind) {
+  switch (Kind) {
+  case TokKind::Eof:
+    return "end of input";
+  case TokKind::Identifier:
+    return "identifier";
+  case TokKind::IntLiteral:
+    return "integer literal";
+  case TokKind::KwFor:
+    return "'for'";
+  case TokKind::KwIf:
+    return "'if'";
+  case TokKind::KwElse:
+    return "'else'";
+  case TokKind::KwTrue:
+    return "'true'";
+  case TokKind::KwFalse:
+    return "'false'";
+  case TokKind::KwParam:
+    return "'param'";
+  case TokKind::LParen:
+    return "'('";
+  case TokKind::RParen:
+    return "')'";
+  case TokKind::LBrace:
+    return "'{'";
+  case TokKind::RBrace:
+    return "'}'";
+  case TokKind::LBracket:
+    return "'['";
+  case TokKind::RBracket:
+    return "']'";
+  case TokKind::Semicolon:
+    return "';'";
+  case TokKind::Comma:
+    return "','";
+  case TokKind::Assign:
+    return "'='";
+  case TokKind::Plus:
+    return "'+'";
+  case TokKind::Minus:
+    return "'-'";
+  case TokKind::Star:
+    return "'*'";
+  case TokKind::Slash:
+    return "'/'";
+  case TokKind::PlusPlus:
+    return "'++'";
+  case TokKind::Bang:
+    return "'!'";
+  case TokKind::Question:
+    return "'?'";
+  case TokKind::Colon:
+    return "':'";
+  case TokKind::Pipe:
+    return "'|'";
+  case TokKind::Lt:
+    return "'<'";
+  case TokKind::Le:
+    return "'<='";
+  case TokKind::Gt:
+    return "'>'";
+  case TokKind::Ge:
+    return "'>='";
+  case TokKind::EqEq:
+    return "'=='";
+  case TokKind::NotEq:
+    return "'!='";
+  case TokKind::AndAnd:
+    return "'&&'";
+  case TokKind::OrOr:
+    return "'||'";
+  }
+  return "unknown token";
+}
+
+namespace {
+
+/// Cursor over the source text tracking line/column.
+class Cursor {
+public:
+  Cursor(const std::string &Source, DiagnosticEngine &Diags)
+      : Source(Source), Diags(Diags) {}
+
+  bool atEnd() const { return Pos >= Source.size(); }
+  char peek(size_t Ahead = 0) const {
+    return Pos + Ahead < Source.size() ? Source[Pos + Ahead] : '\0';
+  }
+  char advance() {
+    char C = Source[Pos++];
+    if (C == '\n') {
+      ++Line;
+      Column = 1;
+    } else {
+      ++Column;
+    }
+    return C;
+  }
+
+  void skipTrivia() {
+    while (!atEnd()) {
+      char C = peek();
+      if (std::isspace(static_cast<unsigned char>(C))) {
+        advance();
+        continue;
+      }
+      if (C == '/' && peek(1) == '/') {
+        while (!atEnd() && peek() != '\n')
+          advance();
+        continue;
+      }
+      if (C == '/' && peek(1) == '*') {
+        advance();
+        advance();
+        while (!atEnd() && !(peek() == '*' && peek(1) == '/'))
+          advance();
+        if (atEnd()) {
+          Diags.error("unterminated block comment", Line, Column);
+          return;
+        }
+        advance();
+        advance();
+        continue;
+      }
+      return;
+    }
+  }
+
+  unsigned line() const { return Line; }
+  unsigned column() const { return Column; }
+
+private:
+  const std::string &Source;
+  DiagnosticEngine &Diags;
+  size_t Pos = 0;
+  unsigned Line = 1;
+  unsigned Column = 1;
+};
+
+} // namespace
+
+std::vector<Token> parsynt::lex(const std::string &Source,
+                                DiagnosticEngine &Diags) {
+  std::vector<Token> Tokens;
+  Cursor C(Source, Diags);
+
+  auto emit = [&](TokKind Kind, std::string Text, int64_t IntValue,
+                  unsigned Line, unsigned Col) {
+    Tokens.push_back({Kind, std::move(Text), IntValue, Line, Col});
+  };
+
+  while (true) {
+    C.skipTrivia();
+    unsigned Line = C.line(), Col = C.column();
+    if (C.atEnd() || Diags.hasErrors())
+      break;
+    char Ch = C.advance();
+
+    if (std::isalpha(static_cast<unsigned char>(Ch)) || Ch == '_') {
+      std::string Text(1, Ch);
+      while (std::isalnum(static_cast<unsigned char>(C.peek())) ||
+             C.peek() == '_')
+        Text += C.advance();
+      TokKind Kind = TokKind::Identifier;
+      if (Text == "for")
+        Kind = TokKind::KwFor;
+      else if (Text == "if")
+        Kind = TokKind::KwIf;
+      else if (Text == "else")
+        Kind = TokKind::KwElse;
+      else if (Text == "true")
+        Kind = TokKind::KwTrue;
+      else if (Text == "false")
+        Kind = TokKind::KwFalse;
+      else if (Text == "param")
+        Kind = TokKind::KwParam;
+      emit(Kind, std::move(Text), 0, Line, Col);
+      continue;
+    }
+
+    if (std::isdigit(static_cast<unsigned char>(Ch))) {
+      std::string Text(1, Ch);
+      while (std::isdigit(static_cast<unsigned char>(C.peek())))
+        Text += C.advance();
+      emit(TokKind::IntLiteral, Text, std::stoll(Text), Line, Col);
+      continue;
+    }
+
+    switch (Ch) {
+    case '\'': {
+      // Character literal, decoded to its code point.
+      if (C.atEnd()) {
+        Diags.error("unterminated character literal", Line, Col);
+        break;
+      }
+      char Inner = C.advance();
+      if (Inner == '\\' && !C.atEnd()) {
+        char Esc = C.advance();
+        switch (Esc) {
+        case 'n':
+          Inner = '\n';
+          break;
+        case 't':
+          Inner = '\t';
+          break;
+        case '0':
+          Inner = '\0';
+          break;
+        case '\\':
+          Inner = '\\';
+          break;
+        case '\'':
+          Inner = '\'';
+          break;
+        default:
+          Diags.error("unknown escape in character literal", Line, Col);
+          break;
+        }
+      }
+      if (C.peek() != '\'') {
+        Diags.error("unterminated character literal", Line, Col);
+        break;
+      }
+      C.advance();
+      emit(TokKind::IntLiteral, std::string(1, Inner),
+           static_cast<int64_t>(static_cast<unsigned char>(Inner)), Line,
+           Col);
+      break;
+    }
+    case '(':
+      emit(TokKind::LParen, "(", 0, Line, Col);
+      break;
+    case ')':
+      emit(TokKind::RParen, ")", 0, Line, Col);
+      break;
+    case '{':
+      emit(TokKind::LBrace, "{", 0, Line, Col);
+      break;
+    case '}':
+      emit(TokKind::RBrace, "}", 0, Line, Col);
+      break;
+    case '[':
+      emit(TokKind::LBracket, "[", 0, Line, Col);
+      break;
+    case ']':
+      emit(TokKind::RBracket, "]", 0, Line, Col);
+      break;
+    case ';':
+      emit(TokKind::Semicolon, ";", 0, Line, Col);
+      break;
+    case ',':
+      emit(TokKind::Comma, ",", 0, Line, Col);
+      break;
+    case '?':
+      emit(TokKind::Question, "?", 0, Line, Col);
+      break;
+    case ':':
+      emit(TokKind::Colon, ":", 0, Line, Col);
+      break;
+    case '+':
+      if (C.peek() == '+') {
+        C.advance();
+        emit(TokKind::PlusPlus, "++", 0, Line, Col);
+      } else {
+        emit(TokKind::Plus, "+", 0, Line, Col);
+      }
+      break;
+    case '-':
+      emit(TokKind::Minus, "-", 0, Line, Col);
+      break;
+    case '*':
+      emit(TokKind::Star, "*", 0, Line, Col);
+      break;
+    case '/':
+      emit(TokKind::Slash, "/", 0, Line, Col);
+      break;
+    case '!':
+      if (C.peek() == '=') {
+        C.advance();
+        emit(TokKind::NotEq, "!=", 0, Line, Col);
+      } else {
+        emit(TokKind::Bang, "!", 0, Line, Col);
+      }
+      break;
+    case '=':
+      if (C.peek() == '=') {
+        C.advance();
+        emit(TokKind::EqEq, "==", 0, Line, Col);
+      } else {
+        emit(TokKind::Assign, "=", 0, Line, Col);
+      }
+      break;
+    case '<':
+      if (C.peek() == '=') {
+        C.advance();
+        emit(TokKind::Le, "<=", 0, Line, Col);
+      } else {
+        emit(TokKind::Lt, "<", 0, Line, Col);
+      }
+      break;
+    case '>':
+      if (C.peek() == '=') {
+        C.advance();
+        emit(TokKind::Ge, ">=", 0, Line, Col);
+      } else {
+        emit(TokKind::Gt, ">", 0, Line, Col);
+      }
+      break;
+    case '&':
+      if (C.peek() == '&') {
+        C.advance();
+        emit(TokKind::AndAnd, "&&", 0, Line, Col);
+      } else {
+        Diags.error("unexpected '&' (did you mean '&&'?)", Line, Col);
+      }
+      break;
+    case '|':
+      if (C.peek() == '|') {
+        C.advance();
+        emit(TokKind::OrOr, "||", 0, Line, Col);
+      } else {
+        emit(TokKind::Pipe, "|", 0, Line, Col);
+      }
+      break;
+    default:
+      Diags.error(std::string("unexpected character '") + Ch + "'", Line,
+                  Col);
+      break;
+    }
+  }
+
+  Tokens.push_back({TokKind::Eof, "", 0, C.line(), C.column()});
+  return Tokens;
+}

@@ -1,0 +1,83 @@
+//===- frontend/Lexer.h - Tokenizer for the input language ------*- C++ -*-===//
+//
+// Part of Parsynt-CXX, a reproduction of "Synthesis of Divide and Conquer
+// Parallelism for Loops" (PLDI 2017).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Tokenizer for the Figure-3 input language (C-like loops over sequences),
+/// standing in for the paper's CIL front end. Supports `//` and `/* */`
+/// comments, character literals (balanced-parentheses benchmarks), and the
+/// `|s|` length form used in loop bounds.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PARSYNT_FRONTEND_LEXER_H
+#define PARSYNT_FRONTEND_LEXER_H
+
+#include "support/Diagnostics.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace parsynt {
+
+enum class TokKind {
+  Eof,
+  Identifier,
+  IntLiteral,  // includes character literals, already decoded
+  KwFor,
+  KwIf,
+  KwElse,
+  KwTrue,
+  KwFalse,
+  KwParam,
+  LParen,
+  RParen,
+  LBrace,
+  RBrace,
+  LBracket,
+  RBracket,
+  Semicolon,
+  Comma,
+  Assign,      // =
+  Plus,
+  Minus,
+  Star,
+  Slash,
+  PlusPlus,
+  Bang,        // !
+  Question,    // ?
+  Colon,       // :
+  Pipe,        // |
+  Lt,
+  Le,
+  Gt,
+  Ge,
+  EqEq,
+  NotEq,
+  AndAnd,
+  OrOr,
+};
+
+/// A lexed token with source position (1-based).
+struct Token {
+  TokKind Kind = TokKind::Eof;
+  std::string Text;
+  int64_t IntValue = 0;
+  unsigned Line = 1;
+  unsigned Column = 1;
+};
+
+/// Human-readable spelling of a token kind, for diagnostics.
+const char *tokKindName(TokKind Kind);
+
+/// Tokenizes \p Source. On a lexical error, reports to \p Diags and returns
+/// the tokens recognized so far (terminated with Eof).
+std::vector<Token> lex(const std::string &Source, DiagnosticEngine &Diags);
+
+} // namespace parsynt
+
+#endif // PARSYNT_FRONTEND_LEXER_H

@@ -1,0 +1,417 @@
+//===- frontend/Parser.cpp - Surface AST and parser -----------------------===//
+//
+// Part of Parsynt-CXX, a reproduction of "Synthesis of Divide and Conquer
+// Parallelism for Loops" (PLDI 2017).
+//
+//===----------------------------------------------------------------------===//
+
+#include "frontend/Parser.h"
+
+using namespace parsynt;
+using namespace parsynt::surface;
+
+namespace {
+
+/// Recursive-descent parser over the token stream. On the first error it
+/// reports a diagnostic and unwinds via null returns.
+class Parser {
+public:
+  Parser(std::vector<Token> Tokens, DiagnosticEngine &Diags)
+      : Tokens(std::move(Tokens)), Diags(Diags) {}
+
+  std::unique_ptr<SProgram> parse();
+
+private:
+  const Token &peek(size_t Ahead = 0) const {
+    size_t Index = std::min(Pos + Ahead, Tokens.size() - 1);
+    return Tokens[Index];
+  }
+  const Token &advance() {
+    const Token &T = Tokens[Pos];
+    if (Pos + 1 < Tokens.size())
+      ++Pos;
+    return T;
+  }
+  bool check(TokKind Kind) const { return peek().Kind == Kind; }
+  bool match(TokKind Kind) {
+    if (!check(Kind))
+      return false;
+    advance();
+    return true;
+  }
+  bool expect(TokKind Kind, const char *Where) {
+    if (match(Kind))
+      return true;
+    error(std::string("expected ") + tokKindName(Kind) + " " + Where +
+          ", found " + tokKindName(peek().Kind));
+    return false;
+  }
+  void error(std::string Message) {
+    if (!Failed)
+      Diags.error(std::move(Message), peek().Line, peek().Column);
+    Failed = true;
+  }
+
+  SExprPtr makeExpr(SExprKind Kind) {
+    auto E = std::make_shared<SExpr>();
+    E->Kind = Kind;
+    E->Line = peek().Line;
+    E->Column = peek().Column;
+    return E;
+  }
+
+  SExprPtr parseExpr();
+  SExprPtr parseOr();
+  SExprPtr parseAnd();
+  SExprPtr parseComparison();
+  SExprPtr parseAdditive();
+  SExprPtr parseMultiplicative();
+  SExprPtr parseUnary();
+  SExprPtr parsePrimary();
+
+  bool parseStmt(std::vector<SStmt> &Out);
+  bool parseStmtList(std::vector<SStmt> &Out);
+  bool parseForHeader(SProgram &Program);
+
+  std::vector<Token> Tokens;
+  DiagnosticEngine &Diags;
+  size_t Pos = 0;
+  bool Failed = false;
+};
+
+SExprPtr Parser::parseExpr() {
+  SExprPtr Cond = parseOr();
+  if (!Cond || !check(TokKind::Question))
+    return Cond;
+  advance();
+  SExprPtr Then = parseExpr();
+  if (!Then || !expect(TokKind::Colon, "in conditional expression"))
+    return nullptr;
+  SExprPtr Else = parseExpr();
+  if (!Else)
+    return nullptr;
+  SExprPtr E = makeExpr(SExprKind::Ternary);
+  E->Args = {Cond, Then, Else};
+  return E;
+}
+
+SExprPtr Parser::parseOr() {
+  SExprPtr Lhs = parseAnd();
+  while (Lhs && check(TokKind::OrOr)) {
+    advance();
+    SExprPtr Rhs = parseAnd();
+    if (!Rhs)
+      return nullptr;
+    SExprPtr E = makeExpr(SExprKind::Binary);
+    E->OpText = "||";
+    E->Args = {Lhs, Rhs};
+    Lhs = E;
+  }
+  return Lhs;
+}
+
+SExprPtr Parser::parseAnd() {
+  SExprPtr Lhs = parseComparison();
+  while (Lhs && check(TokKind::AndAnd)) {
+    advance();
+    SExprPtr Rhs = parseComparison();
+    if (!Rhs)
+      return nullptr;
+    SExprPtr E = makeExpr(SExprKind::Binary);
+    E->OpText = "&&";
+    E->Args = {Lhs, Rhs};
+    Lhs = E;
+  }
+  return Lhs;
+}
+
+SExprPtr Parser::parseComparison() {
+  SExprPtr Lhs = parseAdditive();
+  if (!Lhs)
+    return nullptr;
+  std::string Op;
+  switch (peek().Kind) {
+  case TokKind::Lt:
+    Op = "<";
+    break;
+  case TokKind::Le:
+    Op = "<=";
+    break;
+  case TokKind::Gt:
+    Op = ">";
+    break;
+  case TokKind::Ge:
+    Op = ">=";
+    break;
+  case TokKind::EqEq:
+    Op = "==";
+    break;
+  case TokKind::NotEq:
+    Op = "!=";
+    break;
+  default:
+    return Lhs;
+  }
+  advance();
+  SExprPtr Rhs = parseAdditive();
+  if (!Rhs)
+    return nullptr;
+  SExprPtr E = makeExpr(SExprKind::Binary);
+  E->OpText = Op;
+  E->Args = {Lhs, Rhs};
+  return E;
+}
+
+SExprPtr Parser::parseAdditive() {
+  SExprPtr Lhs = parseMultiplicative();
+  while (Lhs && (check(TokKind::Plus) || check(TokKind::Minus))) {
+    std::string Op = check(TokKind::Plus) ? "+" : "-";
+    advance();
+    SExprPtr Rhs = parseMultiplicative();
+    if (!Rhs)
+      return nullptr;
+    SExprPtr E = makeExpr(SExprKind::Binary);
+    E->OpText = Op;
+    E->Args = {Lhs, Rhs};
+    Lhs = E;
+  }
+  return Lhs;
+}
+
+SExprPtr Parser::parseMultiplicative() {
+  SExprPtr Lhs = parseUnary();
+  while (Lhs && (check(TokKind::Star) || check(TokKind::Slash))) {
+    std::string Op = check(TokKind::Star) ? "*" : "/";
+    advance();
+    SExprPtr Rhs = parseUnary();
+    if (!Rhs)
+      return nullptr;
+    SExprPtr E = makeExpr(SExprKind::Binary);
+    E->OpText = Op;
+    E->Args = {Lhs, Rhs};
+    Lhs = E;
+  }
+  return Lhs;
+}
+
+SExprPtr Parser::parseUnary() {
+  if (check(TokKind::Minus) || check(TokKind::Bang)) {
+    std::string Op = check(TokKind::Minus) ? "-" : "!";
+    SExprPtr E = makeExpr(SExprKind::Unary);
+    advance();
+    SExprPtr Operand = parseUnary();
+    if (!Operand)
+      return nullptr;
+    E->OpText = Op;
+    E->Args = {Operand};
+    return E;
+  }
+  return parsePrimary();
+}
+
+SExprPtr Parser::parsePrimary() {
+  if (check(TokKind::IntLiteral)) {
+    SExprPtr E = makeExpr(SExprKind::IntLit);
+    E->IntValue = advance().IntValue;
+    return E;
+  }
+  if (check(TokKind::KwTrue) || check(TokKind::KwFalse)) {
+    SExprPtr E = makeExpr(SExprKind::BoolLit);
+    E->BoolValue = advance().Kind == TokKind::KwTrue;
+    return E;
+  }
+  if (check(TokKind::LParen)) {
+    advance();
+    SExprPtr E = parseExpr();
+    if (!E || !expect(TokKind::RParen, "after parenthesized expression"))
+      return nullptr;
+    return E;
+  }
+  if (check(TokKind::Identifier)) {
+    Token Name = advance();
+    if (match(TokKind::LBracket)) {
+      SExprPtr Index = parseExpr();
+      if (!Index || !expect(TokKind::RBracket, "after sequence index"))
+        return nullptr;
+      SExprPtr E = makeExpr(SExprKind::Subscript);
+      E->Name = Name.Text;
+      E->Args = {Index};
+      E->Line = Name.Line;
+      E->Column = Name.Column;
+      return E;
+    }
+    if (match(TokKind::LParen)) {
+      SExprPtr E = makeExpr(SExprKind::Call);
+      E->Name = Name.Text;
+      E->Line = Name.Line;
+      E->Column = Name.Column;
+      if (!check(TokKind::RParen)) {
+        do {
+          SExprPtr Arg = parseExpr();
+          if (!Arg)
+            return nullptr;
+          E->Args.push_back(Arg);
+        } while (match(TokKind::Comma));
+      }
+      if (!expect(TokKind::RParen, "after call arguments"))
+        return nullptr;
+      return E;
+    }
+    SExprPtr E = makeExpr(SExprKind::Name);
+    E->Name = Name.Text;
+    E->Line = Name.Line;
+    E->Column = Name.Column;
+    return E;
+  }
+  error(std::string("expected an expression, found ") +
+        tokKindName(peek().Kind));
+  return nullptr;
+}
+
+bool Parser::parseStmt(std::vector<SStmt> &Out) {
+  if (check(TokKind::KwIf)) {
+    SStmt Stmt;
+    Stmt.Kind = SStmtKind::If;
+    Stmt.Line = peek().Line;
+    Stmt.Column = peek().Column;
+    advance();
+    if (!expect(TokKind::LParen, "after 'if'"))
+      return false;
+    Stmt.Cond = parseExpr();
+    if (!Stmt.Cond || !expect(TokKind::RParen, "after if condition"))
+      return false;
+    if (!parseStmtList(Stmt.Then))
+      return false;
+    if (match(TokKind::KwElse))
+      if (!parseStmtList(Stmt.Else))
+        return false;
+    Out.push_back(std::move(Stmt));
+    return true;
+  }
+  if (check(TokKind::Identifier)) {
+    SStmt Stmt;
+    Stmt.Kind = SStmtKind::Assign;
+    Stmt.Line = peek().Line;
+    Stmt.Column = peek().Column;
+    Stmt.Target = advance().Text;
+    if (!expect(TokKind::Assign, "in assignment"))
+      return false;
+    Stmt.Value = parseExpr();
+    if (!Stmt.Value || !expect(TokKind::Semicolon, "after assignment"))
+      return false;
+    Out.push_back(std::move(Stmt));
+    return true;
+  }
+  error(std::string("expected a statement, found ") +
+        tokKindName(peek().Kind));
+  return false;
+}
+
+bool Parser::parseStmtList(std::vector<SStmt> &Out) {
+  if (match(TokKind::LBrace)) {
+    while (!check(TokKind::RBrace)) {
+      if (check(TokKind::Eof)) {
+        error("unterminated block");
+        return false;
+      }
+      if (!parseStmt(Out))
+        return false;
+    }
+    advance();
+    return true;
+  }
+  return parseStmt(Out);
+}
+
+bool Parser::parseForHeader(SProgram &Program) {
+  if (!expect(TokKind::KwFor, "to begin the loop") ||
+      !expect(TokKind::LParen, "after 'for'"))
+    return false;
+  if (!check(TokKind::Identifier)) {
+    error("expected the loop index variable");
+    return false;
+  }
+  Program.IndexName = advance().Text;
+  if (!expect(TokKind::Assign, "in loop initialization"))
+    return false;
+  if (!check(TokKind::IntLiteral) || peek().IntValue != 0) {
+    error("loop must start at index 0");
+    return false;
+  }
+  advance();
+  if (!expect(TokKind::Semicolon, "after loop initialization"))
+    return false;
+  if (!check(TokKind::Identifier) || peek().Text != Program.IndexName) {
+    error("loop condition must test the index variable");
+    return false;
+  }
+  advance();
+  if (!expect(TokKind::Lt, "in loop condition") ||
+      !expect(TokKind::Pipe, "before sequence length"))
+    return false;
+  if (!check(TokKind::Identifier)) {
+    error("expected a sequence name in |s|");
+    return false;
+  }
+  Program.BoundSeqName = advance().Text;
+  if (!expect(TokKind::Pipe, "after sequence length") ||
+      !expect(TokKind::Semicolon, "after loop condition"))
+    return false;
+  if (!check(TokKind::Identifier) || peek().Text != Program.IndexName) {
+    error("loop increment must update the index variable");
+    return false;
+  }
+  advance();
+  if (!expect(TokKind::PlusPlus, "in loop increment") ||
+      !expect(TokKind::RParen, "after loop header"))
+    return false;
+  return true;
+}
+
+std::unique_ptr<SProgram> Parser::parse() {
+  auto Program = std::make_unique<SProgram>();
+
+  while (match(TokKind::KwParam)) {
+    if (!check(TokKind::Identifier)) {
+      error("expected a parameter name after 'param'");
+      return nullptr;
+    }
+    Program->Params.push_back(advance().Text);
+    if (!expect(TokKind::Semicolon, "after parameter declaration"))
+      return nullptr;
+  }
+
+  while (check(TokKind::Identifier))
+    if (!parseStmt(Program->Inits))
+      return nullptr;
+
+  if (!parseForHeader(*Program))
+    return nullptr;
+  if (!parseStmtList(Program->Body))
+    return nullptr;
+  for (const SStmt &S : Program->Inits) {
+    if (S.Kind != SStmtKind::Assign) {
+      Diags.error("only assignments may precede the loop", S.Line, S.Column);
+      return nullptr;
+    }
+  }
+  if (!check(TokKind::Eof)) {
+    error("expected end of input after the loop");
+    return nullptr;
+  }
+  return Program;
+}
+
+} // namespace
+
+std::unique_ptr<SProgram> parsynt::parseProgram(const std::string &Source,
+                                                DiagnosticEngine &Diags) {
+  std::vector<Token> Tokens = lex(Source, Diags);
+  if (Diags.hasErrors())
+    return nullptr;
+  Parser P(std::move(Tokens), Diags);
+  auto Program = P.parse();
+  if (Diags.hasErrors())
+    return nullptr;
+  return Program;
+}

@@ -1,0 +1,98 @@
+//===- frontend/Parser.h - Surface AST and parser ---------------*- C++ -*-===//
+//
+// Part of Parsynt-CXX, a reproduction of "Synthesis of Divide and Conquer
+// Parallelism for Loops" (PLDI 2017).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Recursive-descent parser for the Figure-3 input language. The parser
+/// produces an *untyped* surface AST; name resolution, type inference and
+/// the imperative -> recurrence-equation conversion (paper Appendix A) are
+/// performed by the converter (frontend/Convert.h).
+///
+/// Accepted shape:
+/// \code
+///   param x;                     // optional free scalar parameters
+///   sum = 0;                     // state-variable initialization
+///   for (i = 0; i < |s|; i++) {  // single non-nested loop
+///     sum = sum + s[i];          // assignments and if/else statements
+///   }
+/// \endcode
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PARSYNT_FRONTEND_PARSER_H
+#define PARSYNT_FRONTEND_PARSER_H
+
+#include "frontend/Lexer.h"
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace parsynt {
+namespace surface {
+
+enum class SExprKind {
+  IntLit,
+  BoolLit,
+  Name,
+  Subscript, // base[index]
+  Unary,     // -x, !x
+  Binary,    // infix operator, spelling in OpText
+  Ternary,   // c ? a : b
+  Call,      // min(a,b), max(a,b), abs(a)
+};
+
+/// An untyped surface expression. Children live in Args:
+/// Unary: [operand]; Binary: [lhs, rhs]; Ternary: [cond, then, else];
+/// Subscript: [index]; Call: arguments.
+struct SExpr {
+  SExprKind Kind;
+  int64_t IntValue = 0;
+  bool BoolValue = false;
+  std::string Name;   // Name/Subscript base/Call callee
+  std::string OpText; // operator spelling for Unary/Binary
+  std::vector<std::shared_ptr<SExpr>> Args;
+  unsigned Line = 0;
+  unsigned Column = 0;
+};
+using SExprPtr = std::shared_ptr<SExpr>;
+
+enum class SStmtKind { Assign, If };
+
+/// An assignment or a two-armed conditional statement.
+struct SStmt {
+  SStmtKind Kind;
+  // Assign:
+  std::string Target;
+  SExprPtr Value;
+  // If:
+  SExprPtr Cond;
+  std::vector<SStmt> Then;
+  std::vector<SStmt> Else;
+  unsigned Line = 0;
+  unsigned Column = 0;
+};
+
+/// A parsed program: parameter declarations, initialization assignments,
+/// and one for loop over a sequence.
+struct SProgram {
+  std::vector<std::string> Params;
+  std::vector<SStmt> Inits;
+  std::string IndexName;
+  std::string BoundSeqName; // the sequence in the `i < |s|` bound
+  std::vector<SStmt> Body;
+};
+
+} // namespace surface
+
+/// Parses \p Source. Returns nullptr (with diagnostics in \p Diags) on
+/// failure.
+std::unique_ptr<surface::SProgram> parseProgram(const std::string &Source,
+                                                DiagnosticEngine &Diags);
+
+} // namespace parsynt
+
+#endif // PARSYNT_FRONTEND_PARSER_H

@@ -1,0 +1,69 @@
+//===- interp/SemanticEq.cpp - Sampling-based equivalence -----------------===//
+//
+// Part of Parsynt-CXX, a reproduction of "Synthesis of Divide and Conquer
+// Parallelism for Loops" (PLDI 2017).
+//
+//===----------------------------------------------------------------------===//
+
+#include "interp/SemanticEq.h"
+#include "ir/ExprOps.h"
+
+#include <algorithm>
+
+using namespace parsynt;
+
+std::vector<Env>
+parsynt::sampleEnvs(const std::vector<std::pair<std::string, Type>> &Vars,
+                    size_t Count, Rng &R) {
+  std::vector<Env> Envs;
+  Envs.reserve(Count);
+  // Structured corners first: they catch identity/absorption mistakes that
+  // random draws miss with noticeable probability.
+  const int64_t Corners[] = {0, 1, -1, 2, -2};
+  for (int64_t Corner : Corners) {
+    if (Envs.size() >= Count)
+      break;
+    Env E;
+    for (const auto &[Name, Ty] : Vars)
+      E[Name] = Ty == Type::Int ? Value::ofInt(Corner)
+                                : Value::ofBool(Corner % 2 != 0);
+    Envs.push_back(std::move(E));
+  }
+  while (Envs.size() < Count) {
+    Env E;
+    for (const auto &[Name, Ty] : Vars) {
+      if (Ty == Type::Bool) {
+        E[Name] = Value::ofBool(R.flip());
+        continue;
+      }
+      // Mostly small magnitudes (where algebraic corner cases live), with an
+      // occasional large draw to expose scale-dependent coincidences.
+      int64_t V = R.chance(1, 8) ? R.intIn(-1000000, 1000000)
+                                 : R.intIn(-4, 4);
+      E[Name] = Value::ofInt(V);
+    }
+    Envs.push_back(std::move(E));
+  }
+  return Envs;
+}
+
+bool parsynt::agreeOn(const ExprRef &A, const ExprRef &B,
+                      const std::vector<Env> &Envs) {
+  for (const Env &E : Envs)
+    if (evalExpr(A, E) != evalExpr(B, E))
+      return false;
+  return true;
+}
+
+bool parsynt::probablyEquivalent(const ExprRef &A, const ExprRef &B, Rng &R,
+                                 size_t Samples) {
+  if (A->type() != B->type())
+    return false;
+  auto VarsA = collectTypedVars(A);
+  auto VarsB = collectTypedVars(B);
+  std::vector<std::pair<std::string, Type>> Vars;
+  std::merge(VarsA.begin(), VarsA.end(), VarsB.begin(), VarsB.end(),
+             std::back_inserter(Vars));
+  Vars.erase(std::unique(Vars.begin(), Vars.end()), Vars.end());
+  return agreeOn(A, B, sampleEnvs(Vars, Samples, R));
+}

@@ -1,0 +1,47 @@
+//===- interp/SemanticEq.h - Sampling-based equivalence ---------*- C++ -*-===//
+//
+// Part of Parsynt-CXX, a reproduction of "Synthesis of Divide and Conquer
+// Parallelism for Loops" (PLDI 2017).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Sampling-based semantic equivalence of expressions, used by the rewrite
+/// engine's property tests, the lifting algorithm's "already covered by an
+/// existing auxiliary" check, and accumulator folding. This plays the role
+/// the bounded solver plays in the paper: candidate equivalences accepted
+/// here are re-validated downstream by join synthesis and the Section-7
+/// proof obligations.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PARSYNT_INTERP_SEMANTICEQ_H
+#define PARSYNT_INTERP_SEMANTICEQ_H
+
+#include "interp/Interp.h"
+#include "support/Random.h"
+
+#include <vector>
+
+namespace parsynt {
+
+/// Draws \p Count random environments binding every variable in \p Vars
+/// (ints from a mixed small/large distribution, bools uniform). The first
+/// environments enumerate structured corners (all zero, all one, all minus
+/// one) before random draws.
+std::vector<Env> sampleEnvs(const std::vector<std::pair<std::string, Type>>
+                                &Vars,
+                            size_t Count, Rng &R);
+
+/// True if \p A and \p B evaluate identically on all \p Envs (expressions
+/// must not contain sequence accesses).
+bool agreeOn(const ExprRef &A, const ExprRef &B, const std::vector<Env> &Envs);
+
+/// Sampling-based equivalence over the free variables of both expressions.
+/// \p Samples random environments plus structured corners.
+bool probablyEquivalent(const ExprRef &A, const ExprRef &B, Rng &R,
+                        size_t Samples = 48);
+
+} // namespace parsynt
+
+#endif // PARSYNT_INTERP_SEMANTICEQ_H

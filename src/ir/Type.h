@@ -1,0 +1,31 @@
+//===- ir/Type.h - Scalar types ---------------------------------*- C++ -*-===//
+//
+// Part of Parsynt-CXX, a reproduction of "Synthesis of Divide and Conquer
+// Parallelism for Loops" (PLDI 2017).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Scalar types of the input language (paper Section 3.1). The paper's
+/// generic scalar type Sc is instantiated with mathematical integers and
+/// booleans; chars (atoi, balanced parentheses) are encoded as integers.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PARSYNT_IR_TYPE_H
+#define PARSYNT_IR_TYPE_H
+
+namespace parsynt {
+
+/// A scalar type. Sequences are not first-class values in expressions; a
+/// sequence enters an expression only through an element access s[e].
+enum class Type { Int, Bool };
+
+/// Returns "int" or "bool".
+inline const char *typeName(Type Ty) {
+  return Ty == Type::Int ? "int" : "bool";
+}
+
+} // namespace parsynt
+
+#endif // PARSYNT_IR_TYPE_H

@@ -1,0 +1,571 @@
+//===- lift/Lift.cpp - Homomorphic lifting (Algorithm 1) ------------------===//
+//
+// Part of Parsynt-CXX, a reproduction of "Synthesis of Divide and Conquer
+// Parallelism for Loops" (PLDI 2017).
+//
+//===----------------------------------------------------------------------===//
+
+#include "lift/Lift.h"
+#include "frontend/Convert.h"
+#include "interp/Interp.h"
+#include "ir/ExprOps.h"
+#include "lift/NormalForms.h"
+#include "lift/Unfold.h"
+#include "normalize/Simplify.h"
+#include "support/Random.h"
+
+#include <algorithm>
+
+#include <chrono>
+#include <set>
+#include <sstream>
+
+using namespace parsynt;
+
+namespace {
+
+/// True if \p E references any symbolic unknown ("v@0").
+bool hasUnknown(const ExprRef &E) {
+  return containsVarClass(E, VarClass::Unknown);
+}
+
+/// True if \p E references a per-step input ("s@k").
+bool hasStepInput(const ExprRef &E) {
+  bool Found = false;
+  forEachNode(E, [&](const ExprRef &Node) {
+    if (const auto *V = dyn_cast<VarExpr>(Node))
+      if (V->varClass() == VarClass::Input &&
+          V->name().find('@') != std::string::npos)
+        Found = true;
+  });
+  return Found;
+}
+
+/// Collects the maximal unknown-free subexpressions of \p E that read at
+/// least one per-step input (the 'collect' of Algorithm 1). Integer
+/// literals adjacent to unknowns are also collected: a literal that varies
+/// across unfoldings is a constant-family accumulator (atoi's power of the
+/// base); non-varying literals are filtered by the caller.
+void collectParts(const ExprRef &E, std::vector<ExprRef> &Out) {
+  if (!hasUnknown(E)) {
+    if (hasStepInput(E) || isa<IntConstExpr>(E))
+      Out.push_back(E);
+    return;
+  }
+  for (const ExprRef &Child : children(E))
+    collectParts(Child, Out);
+}
+
+/// True if \p Part occurs (structurally) in \p Parts.
+bool partPresent(const ExprRef &Part, const std::vector<ExprRef> &Parts) {
+  for (const ExprRef &P : Parts)
+    if (exprEquals(Part, P))
+      return true;
+  return false;
+}
+
+/// One sampled concrete scenario: parameter values plus K elements per
+/// sequence, with the derived bindings for the per-step input variables.
+struct Frame {
+  Env Bindings; ///< params + every "<seq>@k"
+  SeqEnv Seqs;  ///< the same elements as indexable sequences
+  Env Params;
+};
+
+/// The lifting engine. Owns the unfoldings, the sampled frames, and the
+/// evolving lifted loop.
+class Lifter {
+public:
+  Lifter(const Loop &Input, const LiftOptions &Options)
+      : Options(Options), R(Options.Seed) {
+    Work = materializeIndex(Input);
+    Result.IndexMaterialized = Work.Equations.size() > Input.Equations.size();
+    if (Result.IndexMaterialized)
+      Result.Notes.push_back(
+          "loop reads its index; materialized position accumulator '_pos'");
+    K = Options.Unfoldings;
+    buildElementPool();
+    buildFrames();
+    FromInit = unfoldLoop(Work, K, /*FromUnknowns=*/false);
+  }
+
+  LiftResult run();
+
+private:
+  void buildElementPool();
+  void buildFrames();
+
+  /// Evaluates \p E (over step inputs + params) in frame \p F.
+  Value evalInFrame(const ExprRef &E, const Frame &F) const {
+    return evalExpr(E, F.Bindings);
+  }
+
+  /// Semantic equality of two step-input expressions over all frames.
+  bool equivOnFrames(const ExprRef &A, const ExprRef &B) const {
+    if (A->type() != B->type())
+      return false;
+    for (const Frame &F : Frames)
+      if (evalInFrame(A, F) != evalInFrame(B, F))
+        return false;
+    return true;
+  }
+
+  /// True if \p Part is semantically the step-\p Step value of an existing
+  /// state variable or discovered auxiliary.
+  bool isCovered(const ExprRef &Part, unsigned Step) const;
+
+  /// Folding: rewrites the step-\p Step expression \p Part over
+  /// {aux, state vars, s[i], params}. Returns null on failure. \p MatchedPrev
+  /// receives the step-(Step-1) expression the auxiliary reference stands
+  /// for (null if the fold needed no auxiliary reference).
+  ExprRef foldBack(const ExprRef &Part, unsigned Step, Type AuxTy,
+                   const std::vector<ExprRef> &PrevParts,
+                   ExprRef &MatchedPrev) const;
+
+  /// Simulates the accumulator (Update=G, Init=C) alongside the loop on
+  /// every frame and checks it reproduces \p Part at step \p Step (and
+  /// \p Prev at Step-1 when non-null). When \p Step < K, the accumulator's
+  /// step-K value must additionally coincide with one of the step-K
+  /// collected parts (\p PartsAtK) — a family that stops matching at later
+  /// unfoldings was mis-folded, so reject it (this kills "memoryless"
+  /// mis-generalizations that happen to agree at a single step).
+  bool validateAccumulator(const ExprRef &G, const ExprRef &C,
+                           const ExprRef &Part, unsigned Step,
+                           const ExprRef &Prev,
+                           const std::vector<ExprRef> &PartsAtK) const;
+
+  /// Tries to derive a full accumulator for \p Part at \p Step; on success
+  /// registers it (extending Work and FromInit) and returns true.
+  bool deriveAccumulator(const ExprRef &Part, unsigned Step,
+                         const std::vector<ExprRef> &PrevParts,
+                         const std::vector<ExprRef> &PartsAtK);
+
+  /// Adds the guarded first-step fallback: ite(<at-start>, E1, G).
+  ExprRef guardedUpdate(const ExprRef &G, const ExprRef &Part, unsigned Step,
+                        const std::vector<ExprRef> &PrevParts,
+                        const std::vector<ExprRef> &PartsAtK);
+
+  /// Registers the accumulator as a new equation of Work.
+  void registerAux(const ExprRef &Definition, const ExprRef &Update,
+                   const ExprRef &Init);
+
+  LiftOptions Options;
+  Rng R;
+  Loop Work; ///< input + materialized index + discovered auxiliaries
+  unsigned K = 3;
+  std::vector<int64_t> Pool;
+  std::vector<Frame> Frames;
+  Unfolding FromInit; ///< of Work, refreshed when an auxiliary is added
+  LiftResult Result;
+};
+
+void Lifter::buildElementPool() {
+  std::set<int64_t> PoolSet = {-2, -1, 0, 1, 2, 3};
+  for (const Equation &Eq : Work.Equations) {
+    forEachNode(Eq.Update, [&](const ExprRef &Node) {
+      if (const auto *C = dyn_cast<IntConstExpr>(Node)) {
+        if (std::abs(C->value()) > 1000)
+          return;
+        PoolSet.insert(C->value());
+        PoolSet.insert(C->value() + 1);
+        PoolSet.insert(C->value() - 1);
+      }
+    });
+  }
+  Pool.assign(PoolSet.begin(), PoolSet.end());
+}
+
+void Lifter::buildFrames() {
+  for (unsigned N = 0; N != Options.Samples; ++N) {
+    Frame F;
+    for (const ParamDecl &P : Work.Params) {
+      Value V = P.Ty == Type::Int ? Value::ofInt(R.intIn(-3, 3))
+                                  : Value::ofBool(R.flip());
+      F.Params[P.Name] = V;
+      F.Bindings[P.Name] = V;
+    }
+    for (const SeqDecl &S : Work.Sequences) {
+      std::vector<Value> Elems;
+      for (unsigned Step = 1; Step <= K; ++Step) {
+        Value V = Value::ofInt(Pool[R.index(Pool.size())]);
+        Elems.push_back(V);
+        F.Bindings[stepInputName(S.Name, Step)] = V;
+      }
+      F.Seqs[S.Name] = std::move(Elems);
+    }
+    Frames.push_back(std::move(F));
+  }
+}
+
+bool Lifter::isCovered(const ExprRef &Part, unsigned Step) const {
+  for (const Equation &Eq : Work.Equations) {
+    const ExprRef &AtStep = FromInit.ValuesAtStep.at(Eq.Name)[Step];
+    if (AtStep->type() == Part->type() && equivOnFrames(Part, AtStep))
+      return true;
+  }
+  return false;
+}
+
+ExprRef Lifter::foldBack(const ExprRef &Part, unsigned Step, Type AuxTy,
+                         const std::vector<ExprRef> &PrevParts,
+                         ExprRef &MatchedPrev) const {
+  // Whole-term matches, in priority order.
+  if (Part->type() == AuxTy) {
+    for (const ExprRef &Prev : PrevParts) {
+      if (Prev->type() == AuxTy && equivOnFrames(Part, Prev)) {
+        MatchedPrev = Prev;
+        return stateVar("?aux", AuxTy);
+      }
+    }
+  }
+  for (const SeqDecl &S : Work.Sequences) {
+    if (Part->type() == S.ElemTy &&
+        equivOnFrames(Part, inputVar(stepInputName(S.Name, Step), S.ElemTy)))
+      return seqAccess(S.Name, inputVar(Work.IndexName, Type::Int), S.ElemTy);
+  }
+  for (const Equation &Eq : Work.Equations) {
+    if (Eq.Ty != Part->type())
+      continue;
+    if (equivOnFrames(Part, FromInit.ValuesAtStep.at(Eq.Name)[Step - 1]))
+      return stateVar(Eq.Name, Eq.Ty);
+  }
+  for (const Equation &Eq : Work.Equations) {
+    if (Eq.Ty != Part->type())
+      continue;
+    // Step-k value of a state variable: inline its update expression (the
+    // accumulator reads the pre-update state, so the update is evaluated in
+    // place).
+    if (equivOnFrames(Part, FromInit.ValuesAtStep.at(Eq.Name)[Step]))
+      return Eq.Update;
+  }
+
+  switch (Part->kind()) {
+  case ExprKind::IntConst:
+  case ExprKind::BoolConst:
+    return Part;
+  case ExprKind::Var: {
+    const auto *V = cast<VarExpr>(Part);
+    // Parameters survive; unmatched step inputs are a fold failure.
+    if (V->name().find('@') == std::string::npos)
+      return Part;
+    return nullptr;
+  }
+  default:
+    break;
+  }
+
+  // Recurse into children; any child failure aborts the fold.
+  bool Failed = false;
+  ExprRef Rebuilt = mapChildren(Part, [&](const ExprRef &Child) -> ExprRef {
+    ExprRef Folded =
+        foldBack(Child, Step, AuxTy, PrevParts, MatchedPrev);
+    if (!Folded) {
+      Failed = true;
+      return Child; // placeholder; result discarded
+    }
+    return Folded;
+  });
+  return Failed ? nullptr : Rebuilt;
+}
+
+bool Lifter::validateAccumulator(const ExprRef &G, const ExprRef &C,
+                                 const ExprRef &Part, unsigned Step,
+                                 const ExprRef &Prev,
+                                 const std::vector<ExprRef> &PartsAtK) const {
+  // Future-consistency candidates: the accumulator's step-K value must
+  // match the *same* step-K part on every frame.
+  std::vector<const ExprRef *> FutureCandidates;
+  if (Step < K)
+    for (const ExprRef &P : PartsAtK)
+      if (P->type() == Part->type())
+        FutureCandidates.push_back(&P);
+
+  for (const Frame &F : Frames) {
+    // Run the loop (with the candidate accumulator alongside) on the frame.
+    Env Vars = F.Params;
+    for (const Equation &Eq : Work.Equations)
+      Vars[Eq.Name] = evalExpr(Eq.Init, F.Params);
+    Vars["?aux"] = evalExpr(C, F.Params);
+    for (unsigned J = 1; J <= K; ++J) {
+      Vars[Work.IndexName] = Value::ofInt(J - 1);
+      Env Next = Vars;
+      for (const Equation &Eq : Work.Equations)
+        Next[Eq.Name] = evalExpr(Eq.Update, Vars, F.Seqs);
+      Next["?aux"] = evalExpr(G, Vars, F.Seqs);
+      Vars = std::move(Next);
+      if (J == Step - 1 && Prev && Vars.at("?aux") != evalInFrame(Prev, F))
+        return false;
+      if (J == Step && Vars.at("?aux") != evalInFrame(Part, F))
+        return false;
+      if (J == K && Step < K) {
+        const Value &AtK = Vars.at("?aux");
+        std::erase_if(FutureCandidates, [&](const ExprRef *Candidate) {
+          return evalInFrame(*Candidate, F) != AtK;
+        });
+        if (FutureCandidates.empty())
+          return false;
+      }
+    }
+  }
+  return true;
+}
+
+ExprRef Lifter::guardedUpdate(const ExprRef &G, const ExprRef &Part,
+                              unsigned Step,
+                              const std::vector<ExprRef> &PrevParts,
+                              const std::vector<ExprRef> &PartsAtK) {
+  // Fold the family's first-step expression over the step-1 frame. Use the
+  // step-(Step-1) member if the family is flat, otherwise Part itself at
+  // step 1 is unavailable and the guarded form does not apply.
+  ExprRef E1;
+  for (const ExprRef &Prev : PrevParts) {
+    if (Prev->type() != Part->type())
+      continue;
+    ExprRef Ignored;
+    if (ExprRef Folded = foldBack(Prev, 1, Part->type(), {}, Ignored)) {
+      E1 = Folded;
+      break;
+    }
+  }
+  if (!E1) {
+    ExprRef Ignored;
+    E1 = foldBack(Part, 1, Part->type(), {}, Ignored);
+  }
+  if (!E1 || E1->type() != Part->type())
+    return nullptr;
+
+  // Guard candidates: "<state> == <literal init>" for each state variable
+  // with a literal initial value (e.g. prev == MIN_INT before the first
+  // element).
+  std::vector<ExprRef> Guards;
+  for (const Equation &Eq : Work.Equations) {
+    if (isa<IntConstExpr>(Eq.Init) || isa<BoolConstExpr>(Eq.Init))
+      Guards.push_back(eq(stateVar(Eq.Name, Eq.Ty), Eq.Init));
+  }
+  ExprRef InitCand =
+      Part->type() == Type::Int ? intConst(0) : boolConst(false);
+  for (const ExprRef &Guard : Guards) {
+    ExprRef Candidate = ite(Guard, E1, G);
+    if (validateAccumulator(Candidate, InitCand, Part, Step, nullptr,
+                            PartsAtK))
+      return Candidate;
+  }
+
+  // Last resort: guard on the explicit position accumulator, materializing
+  // it on demand (the paper's TBB backend gets the global index for free;
+  // in the offset-free model position knowledge is itself an accumulator).
+  if (!Work.findEquation("_pos")) {
+    Equation Pos;
+    Pos.Name = "_pos";
+    Pos.Ty = Type::Int;
+    Pos.Init = intConst(0);
+    Pos.Update = add(stateVar("_pos", Type::Int), intConst(1));
+    Pos.IsAuxiliary = true;
+    Work.Equations.push_back(std::move(Pos));
+    FromInit = unfoldLoop(Work, K, /*FromUnknowns=*/false);
+    Result.Notes.push_back("materialized '_pos' for a start-guarded "
+                           "accumulator");
+    ExprRef Guard = eq(stateVar("_pos", Type::Int), intConst(0));
+    ExprRef Candidate = ite(Guard, E1, G);
+    if (validateAccumulator(Candidate, InitCand, Part, Step, nullptr,
+                            PartsAtK))
+      return Candidate;
+    // Undo: the guard did not validate.
+    Work.Equations.pop_back();
+    FromInit = unfoldLoop(Work, K, /*FromUnknowns=*/false);
+    Result.Notes.pop_back();
+  }
+  return nullptr;
+}
+
+void Lifter::registerAux(const ExprRef &Definition, const ExprRef &Update,
+                         const ExprRef &Init) {
+  std::string Name = "aux" + std::to_string(Result.Auxiliaries.size());
+  Substitution Subst;
+  Subst["?aux"] = stateVar(Name, Definition->type());
+  ExprRef Renamed = substitute(Update, Subst);
+
+  Equation Eq;
+  Eq.Name = Name;
+  Eq.Ty = Definition->type();
+  Eq.Init = Init;
+  Eq.Update = Renamed;
+  Eq.IsAuxiliary = true;
+  Work.Equations.push_back(Eq);
+
+  Result.Auxiliaries.push_back({Name, Eq.Ty, Definition, Renamed, Init});
+  // Refresh the from-initialization unfolding so later coverage checks see
+  // the new accumulator.
+  FromInit = unfoldLoop(Work, K, /*FromUnknowns=*/false);
+}
+
+bool Lifter::deriveAccumulator(const ExprRef &Part, unsigned Step,
+                               const std::vector<ExprRef> &PrevParts,
+                               const std::vector<ExprRef> &PartsAtK) {
+  // Constant families (atoi's 10, 100, 1000, ...): geometric or arithmetic
+  // progressions against the previous step's literals.
+  if (const auto *PartC = dyn_cast<IntConstExpr>(Part)) {
+    ExprRef AuxVar = stateVar("?aux", Type::Int);
+    for (const ExprRef &Prev : PrevParts) {
+      const auto *PrevC = dyn_cast<IntConstExpr>(Prev);
+      if (!PrevC || PrevC->value() == PartC->value())
+        continue;
+      std::vector<ExprRef> Updates;
+      if (PrevC->value() != 0 && PartC->value() % PrevC->value() == 0)
+        Updates.push_back(
+            mul(AuxVar, intConst(PartC->value() / PrevC->value())));
+      Updates.push_back(
+          add(AuxVar, intConst(PartC->value() - PrevC->value())));
+      for (const ExprRef &G : Updates) {
+        for (int64_t C0 : {int64_t(1), int64_t(0), int64_t(-1)}) {
+          if (validateAccumulator(G, intConst(C0), Part, Step, Prev,
+                                  PartsAtK)) {
+            registerAux(Part, G, intConst(C0));
+            return true;
+          }
+        }
+      }
+    }
+    return false;
+  }
+
+  ExprRef MatchedPrev;
+  ExprRef G = foldBack(Part, Step, Part->type(), PrevParts, MatchedPrev);
+  if (!G)
+    return false;
+  G = simplify(G);
+
+  // Initial-value menu (paper: auxiliary accumulators are initialized with
+  // neutral constants; the menu covers the identities of the operators in
+  // the grammar).
+  std::vector<ExprRef> InitMenu;
+  if (Part->type() == Type::Int) {
+    switch (Options.Preference) {
+    case InitPreference::ZeroFirst:
+      InitMenu = {intConst(0), intConst(1), intConst(-1),
+                  intConst(MinIntSentinel), intConst(MaxIntSentinel)};
+      break;
+    case InitPreference::MaxFirst:
+      InitMenu = {intConst(MaxIntSentinel), intConst(MinIntSentinel),
+                  intConst(0), intConst(1), intConst(-1)};
+      break;
+    case InitPreference::MinFirst:
+      InitMenu = {intConst(MinIntSentinel), intConst(MaxIntSentinel),
+                  intConst(0), intConst(1), intConst(-1)};
+      break;
+    }
+  } else {
+    InitMenu = {boolConst(false), boolConst(true)};
+  }
+  for (const ExprRef &C : InitMenu) {
+    if (validateAccumulator(G, C, Part, Step, MatchedPrev, PartsAtK)) {
+      registerAux(Part, G, C);
+      return true;
+    }
+  }
+  // Initialization-dependent accumulator (e.g. "first element"): guard the
+  // first step.
+  if (ExprRef Guarded = guardedUpdate(G, Part, Step, PrevParts, PartsAtK)) {
+    registerAux(Part, Guarded,
+                Part->type() == Type::Int ? intConst(0) : boolConst(false));
+    return true;
+  }
+  return false;
+}
+
+LiftResult Lifter::run() {
+  auto StartTime = std::chrono::steady_clock::now();
+
+  // Unfold the *input* part of the loop from the symbolic split state.
+  Unfolding FromUnknown = unfoldLoop(Work, K, /*FromUnknowns=*/true);
+
+  std::set<std::string> Unknowns;
+  for (const Equation &Eq : Work.Equations)
+    Unknowns.insert(unknownName(Eq.Name));
+
+  // Normalize every unfolding and collect candidate parts per step. The
+  // normal forms depend only on the input equations, so they are computed
+  // once and reused across fixpoint passes.
+  std::vector<Equation> OriginalEqs = Work.Equations; // aux added during run
+  // Dependency order: variables whose updates read fewer *other* state
+  // variables first (mts before mss), so their accumulators are available
+  // when the dependent variable's parts are folded.
+  std::stable_sort(OriginalEqs.begin(), OriginalEqs.end(),
+                   [](const Equation &A, const Equation &B) {
+                     auto OtherReads = [](const Equation &Eq) {
+                       size_t Count = 0;
+                       for (const std::string &V :
+                            collectVars(Eq.Update, VarClass::State))
+                         if (V != Eq.Name)
+                           ++Count;
+                       return Count;
+                     };
+                     return OtherReads(A) < OtherReads(B);
+                   });
+  std::map<std::string, std::vector<std::vector<ExprRef>>> PartsByEq;
+  for (const Equation &Eq : OriginalEqs) {
+    if (Eq.IsAuxiliary)
+      continue; // the materialized position accumulator needs no lifting
+    std::vector<std::vector<ExprRef>> Parts(K + 1);
+    for (unsigned Step = 1; Step <= K; ++Step) {
+      ExprRef Tau = FromUnknown.ValuesAtStep.at(Eq.Name)[Step];
+      // Canonical domain-specific normal forms first; the generic
+      // cost-directed search is the fallback.
+      ExprRef Ell = tropicalNormalize(Tau, Unknowns);
+      if (!Ell)
+        Ell = booleanNormalize(Tau, Unknowns);
+      if (!Ell)
+        Ell = normalizeExpr(Tau, Unknowns, Options.Normalize);
+      collectParts(Ell, Parts[Step]);
+    }
+    PartsByEq.emplace(Eq.Name, std::move(Parts));
+  }
+
+  // Fixpoint over the equation system: an accumulator discovered for one
+  // variable (e.g. mts's running sum) can be the missing ingredient of a
+  // later variable's fold (e.g. mss's max-prefix-sum), so iterate until no
+  // pass adds an auxiliary — the 'while Aux != OldAux' of Algorithm 1.
+  const unsigned MaxPasses = 4;
+  for (unsigned Pass = 0; Pass != MaxPasses; ++Pass) {
+    Result.Unresolved.clear();
+    bool Changed = false;
+    for (const Equation &Eq : OriginalEqs) {
+      auto PartsIt = PartsByEq.find(Eq.Name);
+      if (PartsIt == PartsByEq.end())
+        continue;
+      const auto &Parts = PartsIt->second;
+      for (unsigned Step = 2; Step <= K; ++Step) {
+        for (const ExprRef &Part : Parts[Step]) {
+          // A literal repeated from the previous step is a fixed constant —
+          // always available to a join, never an accumulator.
+          if (isa<IntConstExpr>(Part) && partPresent(Part, Parts[Step - 1]))
+            continue;
+          if (isCovered(Part, Step))
+            continue;
+          if (deriveAccumulator(Part, Step, Parts[Step - 1], Parts[K]))
+            Changed = true;
+          else
+            Result.Unresolved.push_back(Eq.Name + "@" +
+                                        std::to_string(Step) + ": " +
+                                        exprToString(Part));
+        }
+      }
+    }
+    if (!Changed)
+      break;
+  }
+
+  Result.Lifted = Work;
+  Result.Seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    StartTime)
+          .count();
+  return Result;
+}
+
+} // namespace
+
+LiftResult parsynt::liftLoop(const Loop &L, const LiftOptions &Options) {
+  Lifter Engine(L, Options);
+  return Engine.run();
+}

@@ -1,0 +1,90 @@
+//===- lift/Lift.h - Homomorphic lifting (Algorithm 1) ----------*- C++ -*-===//
+//
+// Part of Parsynt-CXX, a reproduction of "Synthesis of Divide and Conquer
+// Parallelism for Loops" (PLDI 2017).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Algorithm 1 of the paper: lifting a non-homomorphic loop to a (constant)
+/// homomorphism by discovering auxiliary accumulators.
+///
+/// For each state variable, the loop body is unfolded symbolically from an
+/// unknown initial state (the split point of Figure 5), each unfolding is
+/// normalized with the cost-directed rewriter, and the maximal unknown-free
+/// subexpressions of the normal form are collected ('collect'). A collected
+/// expression that is not already covered — semantically equal, on sampled
+/// inputs, to the same-step value of an existing state variable or
+/// previously discovered auxiliary — is conjectured as a new auxiliary. Its
+/// accumulator update is derived by *folding back*: subterms of the step-k
+/// expression are matched (again semantically) against the step-(k-1)
+/// auxiliary value, the current element, and the step-(k-1)/step-k values of
+/// the state variables, producing an update over {aux, state, s[i]}. The
+/// initial value is synthesized from a small constant menu and the whole
+/// accumulator is validated by simulation; a guarded first-step form
+/// (ite(<at-start>, e1, g)) covers initialization-dependent accumulators
+/// such as "first element".
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PARSYNT_LIFT_LIFT_H
+#define PARSYNT_LIFT_LIFT_H
+
+#include "ir/Loop.h"
+#include "normalize/Normalizer.h"
+
+#include <string>
+#include <vector>
+
+namespace parsynt {
+
+/// Which initial value to prefer for accumulators that validate with more
+/// than one (e.g. "last element", whose behaviour on nonempty chunks never
+/// depends on the init). The empty-chunk value is what a join sees for an
+/// empty divide, so a sentinel init often makes the join expressible.
+enum class InitPreference { ZeroFirst, MaxFirst, MinFirst };
+
+struct LiftOptions {
+  /// Number of unfoldings inspected (the paper's k; 3 suffices for every
+  /// Table-1 benchmark, the pipeline retries with 4 on failure).
+  unsigned Unfoldings = 3;
+  /// Sampling width for the semantic coverage / validation checks.
+  unsigned Samples = 48;
+  uint64_t Seed = 0x11f7;
+  InitPreference Preference = InitPreference::ZeroFirst;
+  NormalizeOptions Normalize;
+};
+
+/// A discovered auxiliary accumulator.
+struct AuxAccumulator {
+  std::string Name;
+  Type Ty;
+  /// The collected defining expression (over per-step inputs), for reports.
+  ExprRef Definition;
+  ExprRef Update; ///< over {Name, original state vars, s[i], params}
+  ExprRef Init;
+};
+
+struct LiftResult {
+  /// The lifted loop: the input loop plus one equation per auxiliary (and
+  /// the materialized position accumulator when the body reads the index).
+  Loop Lifted;
+  std::vector<AuxAccumulator> Auxiliaries;
+  bool IndexMaterialized = false;
+  /// Collected expressions for which no accumulator could be derived
+  /// (max-block-1 exercises this path, reproducing Table 1's footnote).
+  std::vector<std::string> Unresolved;
+  std::vector<std::string> Notes;
+  double Seconds = 0;
+
+  /// Number of auxiliary equations in the lifted loop (discovered + the
+  /// materialized index, if any) — the Table-1 "#Aux" figure.
+  unsigned auxCount() const { return Lifted.auxiliaryCount(); }
+};
+
+/// Runs Algorithm 1 on \p L.
+LiftResult liftLoop(const Loop &L, const LiftOptions &Options = {});
+
+} // namespace parsynt
+
+#endif // PARSYNT_LIFT_LIFT_H

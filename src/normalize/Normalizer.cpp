@@ -1,0 +1,84 @@
+//===- normalize/Normalizer.cpp - Cost-directed normalization -------------===//
+//
+// Part of Parsynt-CXX, a reproduction of "Synthesis of Divide and Conquer
+// Parallelism for Loops" (PLDI 2017).
+//
+//===----------------------------------------------------------------------===//
+
+#include "normalize/Normalizer.h"
+#include "normalize/Simplify.h"
+
+#include <queue>
+#include <unordered_set>
+
+using namespace parsynt;
+
+namespace {
+
+/// Search node ordering: cost first (Definition 6.1), then size, so that of
+/// two expressions with the unknowns equally placed, the shorter is
+/// preferred.
+struct Node {
+  ExprRef E;
+  ExprCost Cost;
+  unsigned Size;
+};
+
+struct NodeWorse {
+  bool operator()(const Node &A, const Node &B) const {
+    if (!(A.Cost == B.Cost))
+      return B.Cost < A.Cost;
+    return A.Size > B.Size;
+  }
+};
+
+} // namespace
+
+ExprRef parsynt::normalizeExpr(const ExprRef &E,
+                               const std::set<std::string> &Unknowns,
+                               const NormalizeOptions &Options,
+                               NormalizeStats *Stats) {
+  const std::vector<RewriteRule> &Rules = figure6Rules();
+  ExprRef Start = simplify(E);
+  unsigned SizeCap = Start->size() * Options.SizeFactor + Options.SizeSlack;
+
+  std::priority_queue<Node, std::vector<Node>, NodeWorse> Frontier;
+  std::unordered_set<std::string> Seen;
+  Frontier.push({Start, exprCost(Start, Unknowns), Start->size()});
+  Seen.insert(exprToString(Start));
+
+  Node Best = Frontier.top();
+  if (Stats) {
+    Stats->InitialCost = Best.Cost;
+    Stats->Expanded = 0;
+    Stats->Generated = 1;
+  }
+
+  unsigned Expanded = 0;
+  while (!Frontier.empty() && Expanded < Options.MaxExpansions) {
+    Node Current = Frontier.top();
+    Frontier.pop();
+    ++Expanded;
+    if (Current.Cost < Best.Cost ||
+        (Current.Cost == Best.Cost && Current.Size < Best.Size))
+      Best = Current;
+    for (ExprRef &Neighbor : allRewrites(Current.E, Rules)) {
+      if (Neighbor->size() > SizeCap)
+        continue;
+      std::string Key = exprToString(Neighbor);
+      if (!Seen.insert(std::move(Key)).second)
+        continue;
+      ExprCost Cost = exprCost(Neighbor, Unknowns);
+      unsigned Size = Neighbor->size();
+      if (Stats)
+        ++Stats->Generated;
+      Frontier.push({std::move(Neighbor), Cost, Size});
+    }
+  }
+
+  if (Stats) {
+    Stats->Expanded = Expanded;
+    Stats->FinalCost = Best.Cost;
+  }
+  return Best.E;
+}

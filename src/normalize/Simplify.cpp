@@ -1,0 +1,255 @@
+//===- normalize/Simplify.cpp - Algebraic simplifier ----------------------===//
+//
+// Part of Parsynt-CXX, a reproduction of "Synthesis of Divide and Conquer
+// Parallelism for Loops" (PLDI 2017).
+//
+//===----------------------------------------------------------------------===//
+
+#include "normalize/Simplify.h"
+#include "ir/ExprOps.h"
+
+using namespace parsynt;
+
+namespace {
+
+bool isIntConst(const ExprRef &E, int64_t V) {
+  const auto *C = dyn_cast<IntConstExpr>(E);
+  return C && C->value() == V;
+}
+
+bool isBoolConst(const ExprRef &E, bool V) {
+  const auto *C = dyn_cast<BoolConstExpr>(E);
+  return C && C->value() == V;
+}
+
+int64_t wrapAdd(int64_t A, int64_t B) {
+  return static_cast<int64_t>(static_cast<uint64_t>(A) +
+                              static_cast<uint64_t>(B));
+}
+int64_t wrapSub(int64_t A, int64_t B) {
+  return static_cast<int64_t>(static_cast<uint64_t>(A) -
+                              static_cast<uint64_t>(B));
+}
+int64_t wrapMul(int64_t A, int64_t B) {
+  return static_cast<int64_t>(static_cast<uint64_t>(A) *
+                              static_cast<uint64_t>(B));
+}
+int64_t wrapNeg(int64_t A) {
+  return static_cast<int64_t>(0 - static_cast<uint64_t>(A));
+}
+
+ExprRef foldBinary(BinaryOp Op, const ExprRef &L, const ExprRef &R) {
+  const auto *LC = dyn_cast<IntConstExpr>(L);
+  const auto *RC = dyn_cast<IntConstExpr>(R);
+  if (isArithOp(Op) && LC && RC) {
+    int64_t A = LC->value(), B = RC->value();
+    switch (Op) {
+    case BinaryOp::Add:
+      return intConst(wrapAdd(A, B));
+    case BinaryOp::Sub:
+      return intConst(wrapSub(A, B));
+    case BinaryOp::Mul:
+      return intConst(wrapMul(A, B));
+    case BinaryOp::Div:
+      if (B == 0)
+        return intConst(0);
+      if (A == INT64_MIN && B == -1)
+        return intConst(INT64_MIN);
+      return intConst(A / B);
+    case BinaryOp::Min:
+      return intConst(A < B ? A : B);
+    case BinaryOp::Max:
+      return intConst(A > B ? A : B);
+    default:
+      break;
+    }
+  }
+  if (isCompareOp(Op) && LC && RC) {
+    int64_t A = LC->value(), B = RC->value();
+    switch (Op) {
+    case BinaryOp::Lt:
+      return boolConst(A < B);
+    case BinaryOp::Le:
+      return boolConst(A <= B);
+    case BinaryOp::Gt:
+      return boolConst(A > B);
+    case BinaryOp::Ge:
+      return boolConst(A >= B);
+    case BinaryOp::Eq:
+      return boolConst(A == B);
+    case BinaryOp::Ne:
+      return boolConst(A != B);
+    default:
+      break;
+    }
+  }
+  const auto *LB = dyn_cast<BoolConstExpr>(L);
+  const auto *RB = dyn_cast<BoolConstExpr>(R);
+  if (LB && RB) {
+    switch (Op) {
+    case BinaryOp::And:
+      return boolConst(LB->value() && RB->value());
+    case BinaryOp::Or:
+      return boolConst(LB->value() || RB->value());
+    case BinaryOp::Eq:
+      return boolConst(LB->value() == RB->value());
+    case BinaryOp::Ne:
+      return boolConst(LB->value() != RB->value());
+    default:
+      break;
+    }
+  }
+  return nullptr;
+}
+
+/// Identity/absorption rules for a binary node whose children are already
+/// simplified. Returns null if nothing applies.
+ExprRef reduceBinary(BinaryOp Op, const ExprRef &L, const ExprRef &R) {
+  switch (Op) {
+  case BinaryOp::Add:
+    if (isIntConst(L, 0))
+      return R;
+    if (isIntConst(R, 0))
+      return L;
+    // a + (-b) keeps the negation visible to the rewrite rules; no change.
+    break;
+  case BinaryOp::Sub:
+    if (isIntConst(R, 0))
+      return L;
+    if (isIntConst(L, 0))
+      return neg(R);
+    if (exprEquals(L, R))
+      return intConst(0);
+    break;
+  case BinaryOp::Mul:
+    if (isIntConst(L, 1))
+      return R;
+    if (isIntConst(R, 1))
+      return L;
+    if (isIntConst(L, 0) || isIntConst(R, 0))
+      return intConst(0);
+    break;
+  case BinaryOp::Div:
+    if (isIntConst(R, 1))
+      return L;
+    if (isIntConst(L, 0))
+      return intConst(0);
+    break;
+  case BinaryOp::Min:
+  case BinaryOp::Max:
+    if (exprEquals(L, R))
+      return L;
+    break;
+  case BinaryOp::Lt:
+  case BinaryOp::Ne:
+    if (exprEquals(L, R))
+      return boolConst(false);
+    break;
+  case BinaryOp::Gt:
+    if (exprEquals(L, R))
+      return boolConst(false);
+    break;
+  case BinaryOp::Le:
+  case BinaryOp::Ge:
+  case BinaryOp::Eq:
+    if (exprEquals(L, R))
+      return boolConst(true);
+    break;
+  case BinaryOp::And:
+    if (isBoolConst(L, true))
+      return R;
+    if (isBoolConst(R, true))
+      return L;
+    if (isBoolConst(L, false) || isBoolConst(R, false))
+      return boolConst(false);
+    if (exprEquals(L, R))
+      return L;
+    break;
+  case BinaryOp::Or:
+    if (isBoolConst(L, false))
+      return R;
+    if (isBoolConst(R, false))
+      return L;
+    if (isBoolConst(L, true) || isBoolConst(R, true))
+      return boolConst(true);
+    if (exprEquals(L, R))
+      return L;
+    break;
+  }
+  return nullptr;
+}
+
+} // namespace
+
+ExprRef parsynt::simplify(const ExprRef &E) {
+  switch (E->kind()) {
+  case ExprKind::IntConst:
+  case ExprKind::BoolConst:
+  case ExprKind::Var:
+    return E;
+  case ExprKind::SeqAccess: {
+    const auto *S = cast<SeqAccessExpr>(E);
+    ExprRef Index = simplify(S->index());
+    if (Index.get() == S->index().get())
+      return E;
+    return SeqAccessExpr::get(S->seqName(), S->type(), std::move(Index));
+  }
+  case ExprKind::Unary: {
+    const auto *U = cast<UnaryExpr>(E);
+    ExprRef Operand = simplify(U->operand());
+    if (U->op() == UnaryOp::Neg) {
+      if (const auto *C = dyn_cast<IntConstExpr>(Operand))
+        return intConst(wrapNeg(C->value()));
+      if (const auto *Inner = dyn_cast<UnaryExpr>(Operand))
+        if (Inner->op() == UnaryOp::Neg)
+          return Inner->operand();
+    } else {
+      if (const auto *C = dyn_cast<BoolConstExpr>(Operand))
+        return boolConst(!C->value());
+      if (const auto *Inner = dyn_cast<UnaryExpr>(Operand))
+        if (Inner->op() == UnaryOp::Not)
+          return Inner->operand();
+    }
+    if (Operand.get() == U->operand().get())
+      return E;
+    return UnaryExpr::get(U->op(), std::move(Operand));
+  }
+  case ExprKind::Binary: {
+    const auto *B = cast<BinaryExpr>(E);
+    ExprRef L = simplify(B->lhs());
+    ExprRef R = simplify(B->rhs());
+    if (ExprRef Folded = foldBinary(B->op(), L, R))
+      return Folded;
+    if (ExprRef Reduced = reduceBinary(B->op(), L, R))
+      return Reduced;
+    if (L.get() == B->lhs().get() && R.get() == B->rhs().get())
+      return E;
+    return BinaryExpr::get(B->op(), std::move(L), std::move(R));
+  }
+  case ExprKind::Ite: {
+    const auto *I = cast<IteExpr>(E);
+    ExprRef Cond = simplify(I->cond());
+    if (const auto *C = dyn_cast<BoolConstExpr>(Cond))
+      return C->value() ? simplify(I->thenExpr()) : simplify(I->elseExpr());
+    ExprRef Then = simplify(I->thenExpr());
+    ExprRef Else = simplify(I->elseExpr());
+    if (exprEquals(Then, Else))
+      return Then;
+    // ite(!c, a, b) -> ite(c, b, a)
+    if (const auto *NotCond = dyn_cast<UnaryExpr>(Cond))
+      if (NotCond->op() == UnaryOp::Not)
+        return IteExpr::get(NotCond->operand(), std::move(Else),
+                            std::move(Then));
+    // ite(c, true, false) -> c; ite(c, false, true) -> !c
+    if (isBoolConst(Then, true) && isBoolConst(Else, false))
+      return Cond;
+    if (isBoolConst(Then, false) && isBoolConst(Else, true))
+      return notE(Cond);
+    if (Cond.get() == I->cond().get() && Then.get() == I->thenExpr().get() &&
+        Else.get() == I->elseExpr().get())
+      return E;
+    return IteExpr::get(std::move(Cond), std::move(Then), std::move(Else));
+  }
+  }
+  return E;
+}

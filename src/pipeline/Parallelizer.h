@@ -1,0 +1,74 @@
+//===- pipeline/Parallelizer.h - End-to-end parallelization -----*- C++ -*-===//
+//
+// Part of Parsynt-CXX, a reproduction of "Synthesis of Divide and Conquer
+// Parallelism for Loops" (PLDI 2017).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The end-to-end PARSYNT pipeline: join synthesis on the original loop
+/// (Section 4); if no join exists, homomorphic lifting (Section 6) followed
+/// by join synthesis on the lifted loop; finally the remove-redundancies
+/// step of Algorithm 1, realized as "drop an auxiliary and re-synthesize" —
+/// any auxiliary whose removal still leaves a synthesizable join is
+/// redundant. Conjectured auxiliaries that are themselves unjoinable (the
+/// sampling-based collect step can over-approximate) are dropped the same
+/// way before declaring failure.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PARSYNT_PIPELINE_PARALLELIZER_H
+#define PARSYNT_PIPELINE_PARALLELIZER_H
+
+#include "lift/Lift.h"
+#include "synth/JoinSynth.h"
+
+#include <string>
+#include <vector>
+
+namespace parsynt {
+
+struct PipelineOptions {
+  JoinSynthOptions Join;
+  LiftOptions Lift;
+  bool TryLift = true;
+  /// Run the remove-redundancies pass (re-synthesis without each aux).
+  bool RemoveRedundant = true;
+  /// Lifting attempts, in order: (unfolding depth, init preference). The
+  /// init-preference retries handle init-insensitive accumulators whose
+  /// empty-chunk value must be a sentinel for the join to exist.
+  std::vector<std::pair<unsigned, InitPreference>> LiftAttempts = {
+      {3, InitPreference::ZeroFirst},
+      {3, InitPreference::MaxFirst},
+      {3, InitPreference::MinFirst},
+      {4, InitPreference::ZeroFirst}};
+};
+
+struct PipelineResult {
+  bool Success = false;
+  /// True when the loop was not parallelizable in its original form
+  /// (Table 1's "Aux required?" row).
+  bool AuxRequired = false;
+  Loop Final;      ///< the loop actually parallelized (possibly lifted)
+  JoinResult Join; ///< join for Final
+  unsigned AuxCount = 0;      ///< auxiliaries in Final (Table 1's "#Aux")
+  unsigned AuxDiscovered = 0; ///< before redundancy removal
+  bool IndexMaterialized = false;
+  std::vector<std::string> DroppedAux; ///< unjoinable or redundant
+  std::vector<std::string> Unresolved; ///< lift parts without accumulators
+  double JoinSeconds = 0;  ///< total time in join synthesis
+  double LiftSeconds = 0;  ///< total time in lifting
+  double TotalSeconds = 0;
+  std::string Failure;
+
+  /// Multi-line human-readable summary (final loop + join).
+  std::string report() const;
+};
+
+/// Runs the full pipeline on \p L.
+PipelineResult parallelizeLoop(const Loop &L,
+                               const PipelineOptions &Options = {});
+
+} // namespace parsynt
+
+#endif // PARSYNT_PIPELINE_PARALLELIZER_H

@@ -1,0 +1,39 @@
+//===- proof/DafnyEmit.h - Figure-7 Dafny artifact emitter ------*- C++ -*-===//
+//
+// Part of Parsynt-CXX, a reproduction of "Synthesis of Divide and Conquer
+// Parallelism for Loops" (PLDI 2017).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Emits the machine-checkable Dafny proof artifact of paper Section 7
+/// (Figure 7): one recursive function per state variable (the functional
+/// model of the loop), one join function per state variable, and one
+/// homomorphism lemma per state variable proved by induction on the second
+/// sequence, with the generic base-case/induction-step guidance and the
+/// dependency rule ("if u's value depends on v, recall v's homomorphism
+/// lemma in u's proof").
+///
+/// Dafny itself is not bundled in this repository; the emitted artifact is
+/// the hand-off point to an external verifier, while proof/ProofCheck.h
+/// validates the same obligations internally.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PARSYNT_PROOF_DAFNYEMIT_H
+#define PARSYNT_PROOF_DAFNYEMIT_H
+
+#include "ir/Loop.h"
+
+#include <string>
+#include <vector>
+
+namespace parsynt {
+
+/// Renders the full Dafny module (functions, joins, lemmas) for \p L and
+/// its synthesized \p Join.
+std::string emitDafnyProof(const Loop &L, const std::vector<ExprRef> &Join);
+
+} // namespace parsynt
+
+#endif // PARSYNT_PROOF_DAFNYEMIT_H

@@ -1,0 +1,49 @@
+//===- runtime/InterpReduce.cpp - Run synthesized joins on data -----------===//
+//
+// Part of Parsynt-CXX, a reproduction of "Synthesis of Divide and Conquer
+// Parallelism for Loops" (PLDI 2017).
+//
+//===----------------------------------------------------------------------===//
+
+#include "runtime/InterpReduce.h"
+
+using namespace parsynt;
+
+StateTuple parsynt::applyJoinComponents(const Loop &L,
+                                        const std::vector<ExprRef> &Join,
+                                        const StateTuple &Left,
+                                        const StateTuple &Right,
+                                        const Env &Params) {
+  Env E = Params;
+  for (size_t I = 0; I != L.Equations.size(); ++I) {
+    E[L.Equations[I].Name + "_l"] = Left[I];
+    E[L.Equations[I].Name + "_r"] = Right[I];
+  }
+  StateTuple Result;
+  Result.reserve(Join.size());
+  for (const ExprRef &Component : Join)
+    Result.push_back(evalExpr(Component, E));
+  return Result;
+}
+
+StateTuple parsynt::parallelRunLoop(const Loop &L,
+                                    const std::vector<ExprRef> &Join,
+                                    const SeqEnv &Seqs, TaskPool &Pool,
+                                    size_t Grain, const Env &Params) {
+  assert(!L.Sequences.empty() && "loop must read a sequence");
+  size_t Length = Seqs.at(L.Sequences.front().Name).size();
+  if (Length == 0)
+    return initialState(L, Params);
+
+  BlockedRange Range{0, Length, std::max<size_t>(Grain, 1)};
+  return parallelReduce<StateTuple>(
+      Range, Pool,
+      [&](size_t Begin, size_t End) {
+        return runLoopRange(L, initialState(L, Params), Seqs,
+                            static_cast<int64_t>(Begin),
+                            static_cast<int64_t>(End), Params);
+      },
+      [&](const StateTuple &Left, const StateTuple &Right) {
+        return applyJoinComponents(L, Join, Left, Right, Params);
+      });
+}

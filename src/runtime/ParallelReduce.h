@@ -1,0 +1,83 @@
+//===- runtime/ParallelReduce.h - Divide-and-conquer skeleton ---*- C++ -*-===//
+//
+// Part of Parsynt-CXX, a reproduction of "Synthesis of Divide and Conquer
+// Parallelism for Loops" (PLDI 2017).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The divide-and-conquer parallel skeleton of Figure 1: a range is split
+/// recursively down to a grain size, leaves run the (lifted) sequential
+/// loop, and partial results are combined by the synthesized join at every
+/// interior node. The divide operator is concatenation's inverse (split at
+/// the midpoint), so the join tree mirrors the paper's diagram exactly and
+/// the result is deterministic regardless of scheduling.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PARSYNT_RUNTIME_PARALLELREDUCE_H
+#define PARSYNT_RUNTIME_PARALLELREDUCE_H
+
+#include "runtime/TaskPool.h"
+
+#include <cstddef>
+
+namespace parsynt {
+
+/// A half-open index range with a grain size controlling leaf granularity
+/// (TBB's blocked_range).
+struct BlockedRange {
+  size_t Begin = 0;
+  size_t End = 0;
+  size_t Grain = 1;
+
+  size_t size() const { return End - Begin; }
+  bool divisible() const { return size() > Grain; }
+};
+
+/// Recursive divide-and-conquer reduction.
+///
+/// \param Leaf  T(size_t begin, size_t end) — the sequential computation on
+///              a chunk, started from the loop's own initial state.
+/// \param Join  T(const T&, const T&) — the synthesized join.
+///
+/// The recursion spawns the right half into the pool and descends into the
+/// left half on the current thread (help-first). Join order is fixed by the
+/// recursion structure, so results are bitwise deterministic.
+template <typename T, typename LeafFn, typename JoinFn>
+T parallelReduce(const BlockedRange &Range, TaskPool &Pool, LeafFn &&Leaf,
+                 JoinFn &&Join) {
+  if (!Range.divisible() || Pool.threadCount() == 1)
+    return Leaf(Range.Begin, Range.End);
+
+  size_t Mid = Range.Begin + Range.size() / 2;
+  BlockedRange LeftRange{Range.Begin, Mid, Range.Grain};
+  BlockedRange RightRange{Mid, Range.End, Range.Grain};
+
+  T RightResult{};
+  TaskGroup Group;
+  Pool.spawn(Group, [&] {
+    RightResult = parallelReduce<T>(RightRange, Pool, Leaf, Join);
+  });
+  T LeftResult = parallelReduce<T>(LeftRange, Pool, Leaf, Join);
+  Pool.wait(Group);
+  return Join(LeftResult, RightResult);
+}
+
+/// Sequential reference with the identical join tree (used by tests to pin
+/// down determinism and by the single-core overhead measurement).
+template <typename T, typename LeafFn, typename JoinFn>
+T sequentialReduce(const BlockedRange &Range, LeafFn &&Leaf, JoinFn &&Join) {
+  if (!Range.divisible())
+    return Leaf(Range.Begin, Range.End);
+  size_t Mid = Range.Begin + Range.size() / 2;
+  T Left = sequentialReduce<T>(BlockedRange{Range.Begin, Mid, Range.Grain},
+                               Leaf, Join);
+  T Right = sequentialReduce<T>(BlockedRange{Mid, Range.End, Range.Grain},
+                                Leaf, Join);
+  return Join(Left, Right);
+}
+
+} // namespace parsynt
+
+#endif // PARSYNT_RUNTIME_PARALLELREDUCE_H

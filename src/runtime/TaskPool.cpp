@@ -1,0 +1,76 @@
+//===- runtime/TaskPool.cpp - Fork-join worker pool -----------------------===//
+//
+// Part of Parsynt-CXX, a reproduction of "Synthesis of Divide and Conquer
+// Parallelism for Loops" (PLDI 2017).
+//
+//===----------------------------------------------------------------------===//
+
+#include "runtime/TaskPool.h"
+
+#include <cassert>
+
+using namespace parsynt;
+
+TaskPool::TaskPool(unsigned Threads) : NumThreads(Threads == 0 ? 1 : Threads) {
+  // The calling thread participates through wait(), so spawn one fewer
+  // dedicated worker.
+  for (unsigned I = 1; I < NumThreads; ++I)
+    Workers.emplace_back([this] { workerLoop(); });
+}
+
+TaskPool::~TaskPool() {
+  {
+    std::lock_guard<std::mutex> Lock(QueueMutex);
+    ShuttingDown = true;
+  }
+  QueueCv.notify_all();
+  for (std::thread &W : Workers)
+    W.join();
+  assert(Queue.empty() && "pool destroyed with pending tasks");
+}
+
+void TaskPool::spawn(TaskGroup &Group, std::function<void()> Fn) {
+  Group.incr();
+  {
+    std::lock_guard<std::mutex> Lock(QueueMutex);
+    Queue.emplace_back(&Group, std::move(Fn));
+  }
+  QueueCv.notify_one();
+}
+
+bool TaskPool::tryRunOne() {
+  std::pair<TaskGroup *, std::function<void()>> Task;
+  {
+    std::lock_guard<std::mutex> Lock(QueueMutex);
+    if (Queue.empty())
+      return false;
+    Task = std::move(Queue.back()); // LIFO for the caller: depth-first,
+    Queue.pop_back();               // cache-friendly recursion
+  }
+  Task.second();
+  Task.first->done();
+  return true;
+}
+
+void TaskPool::wait(TaskGroup &Group) {
+  while (!Group.finished()) {
+    if (!tryRunOne())
+      std::this_thread::yield();
+  }
+}
+
+void TaskPool::workerLoop() {
+  while (true) {
+    std::pair<TaskGroup *, std::function<void()>> Task;
+    {
+      std::unique_lock<std::mutex> Lock(QueueMutex);
+      QueueCv.wait(Lock, [this] { return ShuttingDown || !Queue.empty(); });
+      if (Queue.empty())
+        return; // shutting down
+      Task = std::move(Queue.front()); // FIFO for workers: breadth-first,
+      Queue.pop_front();               // exposes parallelism early
+    }
+    Task.second();
+    Task.first->done();
+  }
+}

@@ -1,0 +1,83 @@
+//===- runtime/TaskPool.h - Fork-join worker pool ---------------*- C++ -*-===//
+//
+// Part of Parsynt-CXX, a reproduction of "Synthesis of Divide and Conquer
+// Parallelism for Loops" (PLDI 2017).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small fork-join worker pool standing in for Intel TBB's task
+/// scheduler (the paper's execution substrate). Tasks are type-erased
+/// thunks; a thread blocked on a child's completion *helps* by draining the
+/// queue, so recursive divide-and-conquer never deadlocks regardless of
+/// pool size. The pool is deliberately simple — a global mutex-protected
+/// deque — because the divide-and-conquer skeleton's leaves are
+/// grain-sized (tens of thousands of elements), making scheduler overhead
+/// negligible, which is the regime the paper evaluates.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PARSYNT_RUNTIME_TASKPOOL_H
+#define PARSYNT_RUNTIME_TASKPOOL_H
+
+#include <atomic>
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace parsynt {
+
+/// A handle used to wait for a spawned task. Completion is signalled by an
+/// atomic counter so waiting threads can spin-help on the pool.
+class TaskGroup {
+public:
+  void incr() { Pending.fetch_add(1, std::memory_order_relaxed); }
+  void done() { Pending.fetch_sub(1, std::memory_order_acq_rel); }
+  bool finished() const {
+    return Pending.load(std::memory_order_acquire) == 0;
+  }
+
+private:
+  std::atomic<int> Pending{0};
+};
+
+/// Fork-join worker pool. `Threads` counts the total workers including the
+/// calling thread's participation via wait(); pass 1 for a sequential pool
+/// (used by the Figure-8 single-core overhead measurement).
+class TaskPool {
+public:
+  explicit TaskPool(unsigned Threads);
+  ~TaskPool();
+
+  TaskPool(const TaskPool &) = delete;
+  TaskPool &operator=(const TaskPool &) = delete;
+
+  unsigned threadCount() const { return NumThreads; }
+
+  /// Enqueues \p Fn under \p Group. The group must outlive the task.
+  void spawn(TaskGroup &Group, std::function<void()> Fn);
+
+  /// Runs queued tasks until \p Group completes (work-helping join).
+  void wait(TaskGroup &Group);
+
+  /// Pops and runs one task if available. Returns false when the queue was
+  /// empty.
+  bool tryRunOne();
+
+private:
+  void workerLoop();
+
+  unsigned NumThreads;
+  std::vector<std::thread> Workers;
+  std::deque<std::pair<TaskGroup *, std::function<void()>>> Queue;
+  std::mutex QueueMutex;
+  std::condition_variable QueueCv;
+  bool ShuttingDown = false;
+};
+
+} // namespace parsynt
+
+#endif // PARSYNT_RUNTIME_TASKPOOL_H

@@ -1,0 +1,50 @@
+//===- suite/Benchmarks.h - The Table-1 benchmark suite ---------*- C++ -*-===//
+//
+// Part of Parsynt-CXX, a reproduction of "Synthesis of Divide and Conquer
+// Parallelism for Loops" (PLDI 2017).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The 22 benchmarks of the paper's Table 1 as input-language sources, with
+/// the qualitative expectations the reproduction must match (does the loop
+/// need auxiliary accumulators? does the pipeline fully succeed?). Exact
+/// auxiliary counts depend on formulation details the paper leaves open;
+/// see EXPERIMENTS.md for the per-benchmark discussion.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PARSYNT_SUITE_BENCHMARKS_H
+#define PARSYNT_SUITE_BENCHMARKS_H
+
+#include "ir/Loop.h"
+#include "support/Diagnostics.h"
+
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace parsynt {
+
+/// A Table-1 benchmark.
+struct Benchmark {
+  std::string Name;        ///< Table-1 column name
+  std::string Source;      ///< input-language program
+  bool ExpectAuxRequired;  ///< Table-1 "Aux required?" row
+  int ExpectedAux;         ///< our model's expected "#Aux" (-1: no claim)
+  bool ExpectFullSuccess;  ///< false only for max-block-1 (paper footnote *)
+  std::string Description;
+};
+
+/// All 22 benchmarks in Table-1 column order.
+const std::vector<Benchmark> &allBenchmarks();
+
+/// Finds a benchmark by name, or null.
+const Benchmark *findBenchmark(const std::string &Name);
+
+/// Parses a benchmark's source. Asserts on failure (the suite is tested).
+Loop parseBenchmark(const Benchmark &B);
+
+} // namespace parsynt
+
+#endif // PARSYNT_SUITE_BENCHMARKS_H

@@ -1,0 +1,55 @@
+//===- support/Diagnostics.cpp --------------------------------------------===//
+//
+// Part of Parsynt-CXX, a reproduction of "Synthesis of Divide and Conquer
+// Parallelism for Loops" (PLDI 2017).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Diagnostics.h"
+
+#include <sstream>
+
+using namespace parsynt;
+
+static const char *kindName(DiagKind Kind) {
+  switch (Kind) {
+  case DiagKind::Error:
+    return "error";
+  case DiagKind::Warning:
+    return "warning";
+  case DiagKind::Note:
+    return "note";
+  }
+  return "unknown";
+}
+
+std::string Diagnostic::str() const {
+  std::ostringstream OS;
+  if (Line != 0)
+    OS << Line << ":" << Column << ": ";
+  OS << kindName(Kind) << ": " << Message;
+  return OS.str();
+}
+
+void DiagnosticEngine::error(std::string Message, unsigned Line,
+                             unsigned Column) {
+  Diags.push_back({DiagKind::Error, std::move(Message), Line, Column});
+  ++NumErrors;
+}
+
+void DiagnosticEngine::warning(std::string Message, unsigned Line,
+                               unsigned Column) {
+  Diags.push_back({DiagKind::Warning, std::move(Message), Line, Column});
+}
+
+void DiagnosticEngine::note(std::string Message, unsigned Line,
+                            unsigned Column) {
+  Diags.push_back({DiagKind::Note, std::move(Message), Line, Column});
+}
+
+std::string DiagnosticEngine::str() const {
+  std::ostringstream OS;
+  for (const Diagnostic &D : Diags)
+    OS << D.str() << "\n";
+  return OS.str();
+}

@@ -1,0 +1,66 @@
+//===- support/Diagnostics.h - Error reporting ------------------*- C++ -*-===//
+//
+// Part of Parsynt-CXX, a reproduction of "Synthesis of Divide and Conquer
+// Parallelism for Loops" (PLDI 2017).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Lightweight diagnostics: the library does not use exceptions; fallible
+/// components collect human-readable diagnostics into a DiagnosticEngine and
+/// report failure through return values.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PARSYNT_SUPPORT_DIAGNOSTICS_H
+#define PARSYNT_SUPPORT_DIAGNOSTICS_H
+
+#include <string>
+#include <vector>
+
+namespace parsynt {
+
+/// Severity of a diagnostic message.
+enum class DiagKind { Error, Warning, Note };
+
+/// A single diagnostic with optional source position (0 means unknown).
+struct Diagnostic {
+  DiagKind Kind = DiagKind::Error;
+  std::string Message;
+  unsigned Line = 0;
+  unsigned Column = 0;
+
+  /// Renders the diagnostic in "line:col: kind: message" form.
+  std::string str() const;
+};
+
+/// Collects diagnostics produced by fallible components (parser, converter,
+/// synthesis pipeline). Components take a DiagnosticEngine by reference and
+/// signal failure via their return value; callers inspect the engine for the
+/// explanation.
+class DiagnosticEngine {
+public:
+  void error(std::string Message, unsigned Line = 0, unsigned Column = 0);
+  void warning(std::string Message, unsigned Line = 0, unsigned Column = 0);
+  void note(std::string Message, unsigned Line = 0, unsigned Column = 0);
+
+  bool hasErrors() const { return NumErrors > 0; }
+  unsigned errorCount() const { return NumErrors; }
+  const std::vector<Diagnostic> &diagnostics() const { return Diags; }
+
+  /// Renders all diagnostics, one per line.
+  std::string str() const;
+
+  void clear() {
+    Diags.clear();
+    NumErrors = 0;
+  }
+
+private:
+  std::vector<Diagnostic> Diags;
+  unsigned NumErrors = 0;
+};
+
+} // namespace parsynt
+
+#endif // PARSYNT_SUPPORT_DIAGNOSTICS_H

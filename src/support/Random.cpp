@@ -1,0 +1,38 @@
+//===- support/Random.cpp -------------------------------------------------===//
+//
+// Part of Parsynt-CXX, a reproduction of "Synthesis of Divide and Conquer
+// Parallelism for Loops" (PLDI 2017).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Random.h"
+
+#include <cassert>
+
+using namespace parsynt;
+
+int64_t Rng::intIn(int64_t Lo, int64_t Hi) {
+  assert(Lo <= Hi && "empty integer range");
+  std::uniform_int_distribution<int64_t> Dist(Lo, Hi);
+  return Dist(Engine);
+}
+
+bool Rng::flip() { return intIn(0, 1) == 1; }
+
+bool Rng::chance(unsigned Num, unsigned Den) {
+  assert(Den > 0 && "zero denominator");
+  return static_cast<uint64_t>(intIn(0, static_cast<int64_t>(Den) - 1)) < Num;
+}
+
+std::vector<int64_t> Rng::intSeq(size_t Length, int64_t Lo, int64_t Hi) {
+  std::vector<int64_t> Result;
+  Result.reserve(Length);
+  for (size_t I = 0; I != Length; ++I)
+    Result.push_back(intIn(Lo, Hi));
+  return Result;
+}
+
+size_t Rng::index(size_t Size) {
+  assert(Size > 0 && "index into empty range");
+  return static_cast<size_t>(intIn(0, static_cast<int64_t>(Size) - 1));
+}

@@ -1,0 +1,53 @@
+//===- support/Random.h - Deterministic RNG helpers -------------*- C++ -*-===//
+//
+// Part of Parsynt-CXX, a reproduction of "Synthesis of Divide and Conquer
+// Parallelism for Loops" (PLDI 2017).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small deterministic random-number facade used by the synthesis oracles,
+/// proof sampling, tests and workload generators. Everything in the project
+/// that needs randomness goes through Rng so runs are reproducible.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PARSYNT_SUPPORT_RANDOM_H
+#define PARSYNT_SUPPORT_RANDOM_H
+
+#include <cstdint>
+#include <random>
+#include <vector>
+
+namespace parsynt {
+
+/// Deterministic, seedable random source. Not thread-safe; each thread or
+/// component owns its own instance.
+class Rng {
+public:
+  explicit Rng(uint64_t Seed = 0x9e3779b97f4a7c15ull) : Engine(Seed) {}
+
+  /// Uniform integer in [Lo, Hi] (inclusive).
+  int64_t intIn(int64_t Lo, int64_t Hi);
+
+  /// Uniform boolean.
+  bool flip();
+
+  /// Uniform boolean that is true with probability Num/Den.
+  bool chance(unsigned Num, unsigned Den);
+
+  /// A random sequence of Length integers in [Lo, Hi].
+  std::vector<int64_t> intSeq(size_t Length, int64_t Lo, int64_t Hi);
+
+  /// Uniform index in [0, Size), Size must be > 0.
+  size_t index(size_t Size);
+
+  std::mt19937_64 &engine() { return Engine; }
+
+private:
+  std::mt19937_64 Engine;
+};
+
+} // namespace parsynt
+
+#endif // PARSYNT_SUPPORT_RANDOM_H

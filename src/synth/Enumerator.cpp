@@ -1,0 +1,274 @@
+//===- synth/Enumerator.cpp - Bottom-up expression enumeration ------------===//
+//
+// Part of Parsynt-CXX, a reproduction of "Synthesis of Divide and Conquer
+// Parallelism for Loops" (PLDI 2017).
+//
+//===----------------------------------------------------------------------===//
+//
+// Performance note: combined candidates compute their value vectors
+// elementwise from their operands' cached vectors, so cost per candidate is
+// O(#tests) regardless of term size; only leaves walk the interpreter.
+// Per-size buckets make each term constructible exactly once.
+//
+//===----------------------------------------------------------------------===//
+
+#include "synth/Enumerator.h"
+
+using namespace parsynt;
+
+namespace {
+
+int64_t wrap(uint64_t V) { return static_cast<int64_t>(V); }
+
+Value applyBinary(BinaryOp Op, const Value &A, const Value &B) {
+  switch (Op) {
+  case BinaryOp::Add:
+    return Value::ofInt(wrap(static_cast<uint64_t>(A.asInt()) +
+                             static_cast<uint64_t>(B.asInt())));
+  case BinaryOp::Sub:
+    return Value::ofInt(wrap(static_cast<uint64_t>(A.asInt()) -
+                             static_cast<uint64_t>(B.asInt())));
+  case BinaryOp::Mul:
+    return Value::ofInt(wrap(static_cast<uint64_t>(A.asInt()) *
+                             static_cast<uint64_t>(B.asInt())));
+  case BinaryOp::Div:
+    if (B.asInt() == 0)
+      return Value::ofInt(0);
+    if (A.asInt() == INT64_MIN && B.asInt() == -1)
+      return Value::ofInt(INT64_MIN);
+    return Value::ofInt(A.asInt() / B.asInt());
+  case BinaryOp::Min:
+    return Value::ofInt(std::min(A.asInt(), B.asInt()));
+  case BinaryOp::Max:
+    return Value::ofInt(std::max(A.asInt(), B.asInt()));
+  case BinaryOp::Lt:
+    return Value::ofBool(A.asInt() < B.asInt());
+  case BinaryOp::Le:
+    return Value::ofBool(A.asInt() <= B.asInt());
+  case BinaryOp::Gt:
+    return Value::ofBool(A.asInt() > B.asInt());
+  case BinaryOp::Ge:
+    return Value::ofBool(A.asInt() >= B.asInt());
+  case BinaryOp::Eq:
+    return Value::ofBool(A == B);
+  case BinaryOp::Ne:
+    return Value::ofBool(A != B);
+  case BinaryOp::And:
+    return Value::ofBool(A.asBool() && B.asBool());
+  case BinaryOp::Or:
+    return Value::ofBool(A.asBool() || B.asBool());
+  }
+  return Value();
+}
+
+} // namespace
+
+Enumerator::Enumerator(std::vector<Env> TestEnvs, EnumeratorOptions Options)
+    : Envs(std::move(TestEnvs)), Options(Options) {
+  assert(!Envs.empty() && "enumeration needs at least one test environment");
+}
+
+uint64_t Enumerator::signatureOf(const std::vector<Value> &Values) const {
+  uint64_t H = 0x9e3779b97f4a7c15ull;
+  for (const Value &V : Values) {
+    H ^= static_cast<uint64_t>(V.raw()) + 0x9e3779b97f4a7c15ull + (H << 6) +
+         (H >> 2);
+  }
+  return H;
+}
+
+bool Enumerator::insertWithValues(const ExprRef &E,
+                                  std::vector<Value> Values) {
+  std::vector<Candidate> &Pool = E->type() == Type::Int ? Ints : Bools;
+  auto &Sigs = E->type() == Type::Int ? IntSigs : BoolSigs;
+  if (Pool.size() >= Options.MaxPerType)
+    return false;
+
+  uint64_t Sig = signatureOf(Values);
+  auto It = Sigs.find(Sig);
+  if (It != Sigs.end()) {
+    for (size_t Index : It->second)
+      if (Pool[Index].Values == Values)
+        return false; // observational twin; the earlier (smaller) one wins
+  }
+  Sigs[Sig].push_back(Pool.size());
+  auto &Buckets = E->type() == Type::Int ? IntBySize : BoolBySize;
+  if (Buckets.size() <= E->size())
+    Buckets.resize(E->size() + 1);
+  Buckets[E->size()].push_back(Pool.size());
+  Pool.push_back({E, std::move(Values)});
+  return true;
+}
+
+bool Enumerator::insert(const ExprRef &E) {
+  std::vector<Value> Values;
+  Values.reserve(Envs.size());
+  for (const Env &TestEnv : Envs)
+    Values.push_back(evalExpr(E, TestEnv));
+  return insertWithValues(E, std::move(Values));
+}
+
+void Enumerator::addLeaf(const ExprRef &E) { insert(E); }
+
+void Enumerator::run() {
+  const size_t NumTests = Envs.size();
+
+  auto bucket = [](const std::vector<std::vector<size_t>> &Buckets,
+                   unsigned Size) -> const std::vector<size_t> * {
+    return Size < Buckets.size() ? &Buckets[Size] : nullptr;
+  };
+
+  // Note: insertions may reallocate the pools, so operands are re-indexed on
+  // every call rather than held by reference across inserts.
+  auto combineInts = [&](BinaryOp Op, size_t I, size_t J) {
+    std::vector<Value> Values(NumTests);
+    for (size_t T = 0; T != NumTests; ++T)
+      Values[T] = applyBinary(Op, Ints[I].Values[T], Ints[J].Values[T]);
+    insertWithValues(binary(Op, Ints[I].E, Ints[J].E), std::move(Values));
+  };
+  auto combineBools = [&](BinaryOp Op, size_t I, size_t J) {
+    std::vector<Value> Values(NumTests);
+    for (size_t T = 0; T != NumTests; ++T)
+      Values[T] = applyBinary(Op, Bools[I].Values[T], Bools[J].Values[T]);
+    insertWithValues(binary(Op, Bools[I].E, Bools[J].E), std::move(Values));
+  };
+
+  for (unsigned Size = std::max(2u, BuiltSize + 1); Size <= Options.MaxSize;
+       ++Size) {
+    // Unary: operand of size Size-1.
+    if (const auto *Ops = bucket(IntBySize, Size - 1)) {
+      // Copy: insertions extend the pool (into this size's bucket, which we
+      // must not iterate while growing).
+      std::vector<size_t> Fixed = *Ops;
+      for (size_t I : Fixed) {
+        std::vector<Value> Values(NumTests);
+        for (size_t T = 0; T != NumTests; ++T)
+          Values[T] = Value::ofInt(
+              wrap(0 - static_cast<uint64_t>(Ints[I].Values[T].asInt())));
+        insertWithValues(neg(Ints[I].E), std::move(Values));
+      }
+    }
+    if (const auto *Ops = bucket(BoolBySize, Size - 1)) {
+      std::vector<size_t> Fixed = *Ops;
+      for (size_t I : Fixed) {
+        std::vector<Value> Values(NumTests);
+        for (size_t T = 0; T != NumTests; ++T)
+          Values[T] = Value::ofBool(!Bools[I].Values[T].asBool());
+        insertWithValues(notE(Bools[I].E), std::move(Values));
+      }
+    }
+
+    // Binary: |lhs| + |rhs| + 1 == Size.
+    for (unsigned SizeA = 1; SizeA + 2 <= Size; ++SizeA) {
+      unsigned SizeB = Size - 1 - SizeA;
+      const auto *IntsA = bucket(IntBySize, SizeA);
+      const auto *IntsB = bucket(IntBySize, SizeB);
+      if (IntsA && IntsB) {
+        std::vector<size_t> FixedA = *IntsA, FixedB = *IntsB;
+        for (size_t I : FixedA) {
+          for (size_t J : FixedB) {
+            combineInts(BinaryOp::Add, I, J);
+            combineInts(BinaryOp::Sub, I, J);
+            combineInts(BinaryOp::Min, I, J);
+            combineInts(BinaryOp::Max, I, J);
+            if (Options.EnableMulDiv) {
+              combineInts(BinaryOp::Mul, I, J);
+              combineInts(BinaryOp::Div, I, J);
+            }
+            combineInts(BinaryOp::Lt, I, J);
+            combineInts(BinaryOp::Le, I, J);
+            combineInts(BinaryOp::Eq, I, J);
+            // Gt/Ge/Ne are the swapped/negated forms; the deduplication
+            // would drop them anyway, so skip the evaluation work.
+          }
+        }
+      }
+      const auto *BoolsA = bucket(BoolBySize, SizeA);
+      const auto *BoolsB = bucket(BoolBySize, SizeB);
+      if (BoolsA && BoolsB) {
+        std::vector<size_t> FixedA = *BoolsA, FixedB = *BoolsB;
+        for (size_t I : FixedA) {
+          for (size_t J : FixedB) {
+            combineBools(BinaryOp::And, I, J);
+            combineBools(BinaryOp::Or, I, J);
+          }
+        }
+      }
+    }
+
+    // Conditionals: |cond| + |then| + |else| + 1 == Size, int- and
+    // bool-typed branches.
+    if (Options.EnableIte) {
+      for (unsigned SizeC = 1; SizeC + 3 <= Size; ++SizeC) {
+        const auto *Conds = bucket(BoolBySize, SizeC);
+        if (!Conds)
+          continue;
+        std::vector<size_t> FixedC = *Conds;
+        for (unsigned SizeT = 1; SizeC + SizeT + 2 <= Size; ++SizeT) {
+          unsigned SizeE = Size - 1 - SizeC - SizeT;
+          const auto *Thens = bucket(IntBySize, SizeT);
+          const auto *Elses = bucket(IntBySize, SizeE);
+          if (Thens && Elses) {
+            std::vector<size_t> FixedT = *Thens, FixedE = *Elses;
+            for (size_t C : FixedC) {
+              for (size_t I : FixedT) {
+                for (size_t J : FixedE) {
+                  std::vector<Value> Values(NumTests);
+                  for (size_t T = 0; T != NumTests; ++T)
+                    Values[T] = Bools[C].Values[T].asBool()
+                                    ? Ints[I].Values[T]
+                                    : Ints[J].Values[T];
+                  insertWithValues(ite(Bools[C].E, Ints[I].E, Ints[J].E),
+                                   std::move(Values));
+                }
+              }
+            }
+          }
+          const auto *BThens = bucket(BoolBySize, SizeT);
+          const auto *BElses = bucket(BoolBySize, SizeE);
+          if (BThens && BElses) {
+            std::vector<size_t> FixedT = *BThens, FixedE = *BElses;
+            for (size_t C : FixedC) {
+              for (size_t I : FixedT) {
+                for (size_t J : FixedE) {
+                  std::vector<Value> Values(NumTests);
+                  for (size_t T = 0; T != NumTests; ++T)
+                    Values[T] = Bools[C].Values[T].asBool()
+                                    ? Bools[I].Values[T]
+                                    : Bools[J].Values[T];
+                  insertWithValues(ite(Bools[C].E, Bools[I].E, Bools[J].E),
+                                   std::move(Values));
+                }
+              }
+            }
+          }
+        }
+      }
+    }
+  }
+  BuiltSize = std::max(BuiltSize, Options.MaxSize);
+}
+
+std::vector<const Candidate *>
+Enumerator::candidatesUpTo(Type Ty, unsigned MaxSize) const {
+  std::vector<const Candidate *> Result;
+  const auto &Buckets = Ty == Type::Int ? IntBySize : BoolBySize;
+  const auto &Pool = candidates(Ty);
+  for (unsigned Size = 1; Size <= MaxSize && Size < Buckets.size(); ++Size)
+    for (size_t Index : Buckets[Size])
+      Result.push_back(&Pool[Index]);
+  return Result;
+}
+
+const Candidate *
+Enumerator::findMatching(Type Ty, const std::vector<Value> &Target) const {
+  const auto &Sigs = Ty == Type::Int ? IntSigs : BoolSigs;
+  const auto &Pool = Ty == Type::Int ? Ints : Bools;
+  auto It = Sigs.find(signatureOf(Target));
+  if (It == Sigs.end())
+    return nullptr;
+  for (size_t Index : It->second)
+    if (Pool[Index].Values == Target)
+      return &Pool[Index];
+  return nullptr;
+}

@@ -1,0 +1,101 @@
+//===- synth/Enumerator.h - Bottom-up expression enumeration ----*- C++ -*-===//
+//
+// Part of Parsynt-CXX, a reproduction of "Synthesis of Divide and Conquer
+// Parallelism for Loops" (PLDI 2017).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Typed bottom-up enumeration of the Figure-4 expression grammar with
+/// observational-equivalence pruning: two candidate expressions that agree
+/// on every test environment are interchangeable for the bounded synthesis
+/// oracle, so only the smaller is kept. Candidates are produced in order of
+/// term size, which realizes the paper's "expression depth d is gradually
+/// increased until a solution is found" as iterative deepening on size.
+///
+/// The enumerator fills three roles: the per-hole candidate pools of the
+/// sketch search, the free-grammar fallback of Section 6.3, and the
+/// accumulator-update search of the lifting algorithm.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PARSYNT_SYNTH_ENUMERATOR_H
+#define PARSYNT_SYNTH_ENUMERATOR_H
+
+#include "interp/Interp.h"
+#include "ir/Expr.h"
+
+#include <unordered_map>
+#include <vector>
+
+namespace parsynt {
+
+/// An enumerated expression with its evaluation on every test environment.
+struct Candidate {
+  ExprRef E;
+  std::vector<Value> Values;
+};
+
+/// Knobs bounding the enumeration.
+struct EnumeratorOptions {
+  /// Largest term size to build.
+  unsigned MaxSize = 7;
+  /// Cap on retained candidates per type (observational classes).
+  size_t MaxPerType = 20000;
+  /// Whether to build ite terms (they cube the combination count).
+  bool EnableIte = true;
+  /// Whether to build * and / terms (rarely useful, often noisy).
+  bool EnableMulDiv = true;
+};
+
+/// Bottom-up enumerator over a fixed set of test environments.
+class Enumerator {
+public:
+  Enumerator(std::vector<Env> TestEnvs, EnumeratorOptions Options = {});
+
+  /// Registers a leaf (variable or constant; any expression works). Leaves
+  /// count with their real term size.
+  void addLeaf(const ExprRef &E);
+
+  /// Builds all candidates of size <= Options.MaxSize. Safe to call again
+  /// after raising MaxSize via options(); already-built sizes are kept.
+  void run();
+
+  const std::vector<Candidate> &candidates(Type Ty) const {
+    return Ty == Type::Int ? Ints : Bools;
+  }
+
+  /// Candidates of the given type with term size <= MaxSize, in size order.
+  std::vector<const Candidate *> candidatesUpTo(Type Ty,
+                                                unsigned MaxSize) const;
+
+  /// Finds a candidate observationally equal to \p Target values (type
+  /// \p Ty), or null.
+  const Candidate *findMatching(Type Ty,
+                                const std::vector<Value> &Target) const;
+
+  EnumeratorOptions &options() { return Options; }
+  const std::vector<Env> &testEnvs() const { return Envs; }
+  size_t totalCandidates() const { return Ints.size() + Bools.size(); }
+
+private:
+  /// Evaluates and inserts \p E unless an observational twin exists.
+  bool insert(const ExprRef &E);
+  /// Inserts \p E with a precomputed value vector (combination fast path).
+  bool insertWithValues(const ExprRef &E, std::vector<Value> Values);
+  uint64_t signatureOf(const std::vector<Value> &Values) const;
+
+  std::vector<Env> Envs;
+  EnumeratorOptions Options;
+  std::vector<Candidate> Ints, Bools;
+  /// Value-vector signature -> candidate indices (per type) for dedup.
+  std::unordered_map<uint64_t, std::vector<size_t>> IntSigs, BoolSigs;
+  /// Candidate indices bucketed by term size (per type).
+  std::vector<std::vector<size_t>> IntBySize, BoolBySize;
+  /// Largest size already built.
+  unsigned BuiltSize = 0;
+};
+
+} // namespace parsynt
+
+#endif // PARSYNT_SYNTH_ENUMERATOR_H

@@ -1,0 +1,110 @@
+//===- synth/HomOracle.h - Bounded homomorphism oracle ----------*- C++ -*-===//
+//
+// Part of Parsynt-CXX, a reproduction of "Synthesis of Divide and Conquer
+// Parallelism for Loops" (PLDI 2017).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The bounded correctness specification of paper Section 4.2: a join ⊙ is
+/// accepted when fE(x • y) == fE(x) ⊙ fE(y) on all test sequences x, y of
+/// bounded length. Where the paper discharges this with a solver over
+/// symbolic bounded inputs, we evaluate it over an exhaustive small-domain
+/// enumeration plus randomized wide draws, and re-check synthesized joins on
+/// fresh inputs (the CEGIS counterexample loop). General correctness is then
+/// established by the Section-7 proof machinery, exactly as in the paper.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PARSYNT_SYNTH_HOMORACLE_H
+#define PARSYNT_SYNTH_HOMORACLE_H
+
+#include "interp/Interp.h"
+#include "ir/Loop.h"
+#include "support/Random.h"
+
+#include <optional>
+#include <vector>
+
+namespace parsynt {
+
+/// One point of the bounded homomorphism specification.
+struct JoinExample {
+  StateTuple Left;     ///< fE(x)
+  StateTuple Right;    ///< fE(y)
+  StateTuple Expected; ///< fE(x • y)
+  Env Params;          ///< shared parameter bindings
+  /// The witnessing sequences, kept for diagnostics and counterexample
+  /// reporting (name -> contents; x and y per sequence).
+  SeqEnv LeftSeqs, RightSeqs;
+};
+
+/// Options bounding the specification.
+struct OracleOptions {
+  /// Max chunk length in the exhaustive phase.
+  unsigned ExhaustiveLen = 2;
+  /// Element values used in the exhaustive phase (beyond loop constants).
+  std::vector<int64_t> ExhaustiveValues = {-1, 0, 1};
+  /// Number of random tests in the initial set.
+  unsigned RandomTests = 64;
+  /// Max chunk length for random tests.
+  unsigned RandomLen = 5;
+  /// Cap on the initial test count.
+  size_t MaxTests = 300;
+  uint64_t Seed = 0x5eed;
+};
+
+/// Builds and extends the test set, and verifies candidate joins.
+class HomOracle {
+public:
+  HomOracle(const Loop &L, OracleOptions Options = {});
+
+  const Loop &loop() const { return L; }
+  const std::vector<JoinExample> &tests() const { return Tests; }
+
+  /// The element values sequences are drawn from: small integers plus every
+  /// constant appearing in the loop (and off-by-one neighbours), so that
+  /// character-comparison benchmarks exercise both branches.
+  const std::vector<int64_t> &elementPool() const { return Pool; }
+
+  /// Builds the combined environment a join expression is evaluated in:
+  /// v_l / v_r for every state variable, plus parameters.
+  Env combinedEnv(const JoinExample &Example) const;
+
+  /// Evaluates component \p EquationIndex of candidate \p Join on every
+  /// test; returns the index of the first failing test, or nullopt.
+  std::optional<size_t> firstFailure(const ExprRef &JoinComponent,
+                                     size_t EquationIndex) const;
+
+  /// Random search for a counterexample to the whole join on fresh inputs
+  /// (longer sequences and wider values than the synthesis tests). Returns
+  /// the failing example, or nullopt if all \p Rounds pass.
+  std::optional<JoinExample>
+  findCounterexample(const std::vector<ExprRef> &Join, unsigned Rounds = 400);
+
+  /// Appends a (counter)example to the test set.
+  void addTest(JoinExample Example);
+
+  /// Creates one random example with the given chunk-length bound and
+  /// element pool.
+  JoinExample randomExample(unsigned MaxLen, const std::vector<int64_t> &From,
+                            Rng &R) const;
+
+private:
+  void buildInitialTests();
+  JoinExample makeExample(const SeqEnv &LeftSeqs, const SeqEnv &RightSeqs,
+                          const Env &Params) const;
+
+  const Loop &L;
+  OracleOptions Options;
+  std::vector<int64_t> Pool;
+  /// Loop-comparison constants only (see the constructor): used for the
+  /// dense-pattern half of the random tests.
+  std::vector<int64_t> Focused;
+  std::vector<JoinExample> Tests;
+  Rng R;
+};
+
+} // namespace parsynt
+
+#endif // PARSYNT_SYNTH_HOMORACLE_H

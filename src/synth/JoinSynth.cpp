@@ -1,0 +1,399 @@
+//===- synth/JoinSynth.cpp - Join operator synthesis ----------------------===//
+//
+// Part of Parsynt-CXX, a reproduction of "Synthesis of Divide and Conquer
+// Parallelism for Loops" (PLDI 2017).
+//
+//===----------------------------------------------------------------------===//
+
+#include "synth/JoinSynth.h"
+#include "ir/ExprOps.h"
+#include "normalize/Simplify.h"
+#include "synth/Enumerator.h"
+#include "synth/Sketch.h"
+
+#include <chrono>
+#include <map>
+#include <set>
+#include <sstream>
+
+using namespace parsynt;
+
+namespace {
+
+/// Collects the small integer constants appearing in the loop (candidates
+/// for ??R fills), plus the universal 0 / 1 / -1.
+std::vector<int64_t> joinConstants(const Loop &L) {
+  std::set<int64_t> Result = {0, 1, -1};
+  for (const Equation &Eq : L.Equations) {
+    auto Collect = [&](const ExprRef &Root) {
+      forEachNode(Root, [&](const ExprRef &Node) {
+        if (const auto *C = dyn_cast<IntConstExpr>(Node))
+          Result.insert(C->value());
+      });
+    };
+    Collect(Eq.Update);
+    Collect(Eq.Init);
+  }
+  return {Result.begin(), Result.end()};
+}
+
+/// Per-hole candidate pools grouped by term size for exact-weight search.
+struct HolePool {
+  std::vector<std::vector<const Candidate *>> BySize; // index = size
+  unsigned MinSize = 0;
+};
+
+HolePool makePool(const Enumerator &E, Type Ty, unsigned MaxSize) {
+  HolePool Pool;
+  Pool.BySize.resize(MaxSize + 1);
+  for (const Candidate *C : E.candidatesUpTo(Ty, MaxSize))
+    Pool.BySize[C->E->size()].push_back(C);
+  for (unsigned S = 1; S <= MaxSize; ++S) {
+    if (!Pool.BySize[S].empty()) {
+      Pool.MinSize = S;
+      break;
+    }
+  }
+  return Pool;
+}
+
+/// Exact-total-weight product search over the sketch's holes with early-exit
+/// evaluation against the expected outputs.
+class SketchSearch {
+public:
+  SketchSearch(const Sketch &S, std::vector<HolePool> Pools,
+               const HomOracle &Oracle, size_t EquationIndex,
+               uint64_t Budget, uint64_t &TotalTried)
+      : S(S), Pools(std::move(Pools)), Oracle(Oracle),
+        EquationIndex(EquationIndex), Budget(Budget),
+        TotalTried(TotalTried) {
+    // Pre-build one mutable environment per test with hole slots installed;
+    // assignments overwrite the slots in place.
+    for (const JoinExample &Example : Oracle.tests()) {
+      Envs.push_back(Oracle.combinedEnv(Example));
+      Env &E = Envs.back();
+      for (const Hole &H : S.Holes)
+        E[H.Name] = H.Ty == Type::Int ? Value::ofInt(0) : Value::ofBool(false);
+    }
+    Slots.resize(Envs.size());
+    for (size_t T = 0; T != Envs.size(); ++T)
+      for (const Hole &H : S.Holes)
+        Slots[T].push_back(&Envs[T].at(H.Name));
+    Assignment.resize(S.Holes.size(), nullptr);
+  }
+
+  /// Runs the search; returns the filled-in join component, or null.
+  ExprRef run(unsigned MaxHoleSize) {
+    size_t NumHoles = S.Holes.size();
+    if (NumHoles == 0) {
+      // Constant sketch (degenerate); just check the body.
+      return checkCurrent() ? S.Body : nullptr;
+    }
+    unsigned MinTotal = 0;
+    for (const HolePool &P : Pools) {
+      if (P.MinSize == 0)
+        return nullptr; // some hole has an empty pool
+      MinTotal += P.MinSize;
+    }
+    unsigned MaxTotal = static_cast<unsigned>(NumHoles) * MaxHoleSize;
+    ExprRef Found;
+    for (unsigned W = MinTotal; W <= MaxTotal && !Found && Tried < Budget;
+         ++W)
+      Found = assign(0, W);
+    TotalTried += Tried;
+    return Found;
+  }
+
+private:
+  ExprRef assign(size_t HoleIdx, unsigned Remaining) {
+    if (Tried >= Budget)
+      return nullptr;
+    const HolePool &Pool = Pools[HoleIdx];
+    bool Last = HoleIdx + 1 == Pools.size();
+    unsigned MinRest = 0;
+    for (size_t I = HoleIdx + 1; I < Pools.size(); ++I)
+      MinRest += Pools[I].MinSize;
+    unsigned MaxSizeHere =
+        Last ? Remaining : (Remaining > MinRest ? Remaining - MinRest : 0);
+    for (unsigned Size = Pool.MinSize;
+         Size <= MaxSizeHere && Size < Pool.BySize.size(); ++Size) {
+      if (Last && Size != Remaining)
+        continue;
+      for (const Candidate *C : Pool.BySize[Size]) {
+        Assignment[HoleIdx] = C;
+        if (Last) {
+          ++Tried;
+          if (checkCurrent())
+            return materialize();
+          if (Tried >= Budget)
+            return nullptr;
+        } else {
+          if (ExprRef Found = assign(HoleIdx + 1, Remaining - Size))
+            return Found;
+        }
+      }
+    }
+    return nullptr;
+  }
+
+  bool checkCurrent() {
+    const auto &Tests = Oracle.tests();
+    for (size_t T = 0; T != Tests.size(); ++T) {
+      for (size_t H = 0; H != Assignment.size(); ++H)
+        *Slots[T][H] = Assignment[H]->Values[T];
+      if (evalExpr(S.Body, Envs[T]) != Tests[T].Expected[EquationIndex])
+        return false;
+    }
+    return true;
+  }
+
+  ExprRef materialize() const {
+    Substitution Subst;
+    for (size_t H = 0; H != S.Holes.size(); ++H)
+      Subst[S.Holes[H].Name] = Assignment[H]->E;
+    return simplify(substitute(S.Body, Subst));
+  }
+
+  const Sketch &S;
+  std::vector<HolePool> Pools;
+  const HomOracle &Oracle;
+  size_t EquationIndex;
+  uint64_t Budget;
+  uint64_t &TotalTried;
+  /// Per-search counter; Budget bounds each search independently, while
+  /// TotalTried accumulates across searches for the statistics.
+  uint64_t Tried = 0;
+  std::vector<Env> Envs;
+  std::vector<std::vector<Value *>> Slots;
+  std::vector<const Candidate *> Assignment;
+};
+
+} // namespace
+
+JoinResult parsynt::synthesizeJoin(const Loop &L,
+                                   const JoinSynthOptions &Options) {
+  auto StartTime = std::chrono::steady_clock::now();
+  JoinResult Result;
+  Result.Components.resize(L.Equations.size());
+  Result.FromFallback.assign(L.Equations.size(), false);
+
+  HomOracle Oracle(L, Options.Oracle);
+  std::vector<int64_t> Constants = joinConstants(L);
+
+  for (unsigned Round = 0; Round <= Options.CegisRounds; ++Round) {
+    Result.Stats.CegisIterations = Round;
+    Result.Stats.TestsUsed = static_cast<unsigned>(Oracle.tests().size());
+
+    // Test environments for enumeration: the combined envs of all tests.
+    std::vector<Env> CombEnvs;
+    CombEnvs.reserve(Oracle.tests().size());
+    for (const JoinExample &Example : Oracle.tests())
+      CombEnvs.push_back(Oracle.combinedEnv(Example));
+
+    // Left-right and right-only candidate pools (shared by all equations).
+    // Initially sized for the sketch tiers; grown lazily to FreeMaxSize only
+    // if some equation needs the free-grammar fallback.
+    unsigned MaxLR = 1;
+    unsigned MaxR = 1;
+    for (const auto &[SizeLR, SizeR] : Options.SketchTiers) {
+      MaxLR = std::max(MaxLR, SizeLR);
+      MaxR = std::max(MaxR, SizeR);
+    }
+    if (!Options.UseSketch)
+      MaxLR = std::max(MaxLR, Options.FreeMaxSize);
+    EnumeratorOptions EnumOpts;
+    EnumOpts.MaxSize = MaxLR;
+    Enumerator ELR(CombEnvs, EnumOpts);
+    EnumeratorOptions EnumOptsR;
+    EnumOptsR.MaxSize = MaxR;
+    Enumerator ER(CombEnvs, EnumOptsR);
+
+    for (const Equation &Eq : L.Equations) {
+      ELR.addLeaf(inputVar(Eq.Name + "_l", Eq.Ty));
+      ELR.addLeaf(inputVar(Eq.Name + "_r", Eq.Ty));
+      ER.addLeaf(inputVar(Eq.Name + "_r", Eq.Ty));
+    }
+    for (const ParamDecl &P : L.Params) {
+      ELR.addLeaf(inputVar(P.Name, P.Ty));
+      ER.addLeaf(inputVar(P.Name, P.Ty));
+    }
+    for (int64_t C : Constants) {
+      ELR.addLeaf(intConst(C));
+      ER.addLeaf(intConst(C));
+    }
+    ELR.addLeaf(boolConst(true));
+    ELR.addLeaf(boolConst(false));
+    ER.addLeaf(boolConst(true));
+    ER.addLeaf(boolConst(false));
+    ELR.run();
+    ER.run();
+    Result.Stats.EnumeratedCandidates +=
+        ELR.totalCandidates() + ER.totalCandidates();
+
+    // Solve each equation modularly.
+    bool AllSolved = true;
+    for (size_t I = 0; I != L.Equations.size(); ++I) {
+      const Equation &Eq = L.Equations[I];
+      ExprRef Component;
+      bool Fallback = false;
+
+      auto searchSketch = [&](const Sketch &S) -> ExprRef {
+        for (const auto &[SizeLR, SizeR] : Options.SketchTiers) {
+          std::vector<HolePool> Pools;
+          Pools.reserve(S.Holes.size());
+          for (const Hole &H : S.Holes)
+            Pools.push_back(H.RightOnly ? makePool(ER, H.Ty, SizeR)
+                                        : makePool(ELR, H.Ty, SizeLR));
+          SketchSearch Search(S, std::move(Pools), Oracle, I,
+                              Options.ProductBudget,
+                              Result.Stats.SketchAssignmentsTried);
+          if (ExprRef Found = Search.run(std::max(SizeLR, SizeR)))
+            return Found;
+        }
+        return nullptr;
+      };
+
+      if (Options.UseSketch)
+        Component = searchSketch(compileSketch(Eq));
+
+      if (!Component && Options.UseSketch && Eq.Ty == Type::Int) {
+        // Additive-correction sketch: v_l + v_r + ite(??LR, ??R, ??R).
+        // Counters over concatenations are almost-additive with a boundary
+        // correction (count-1's block merge at the seam); this variant
+        // reaches those joins with a three-hole search.
+        Sketch Corr;
+        Corr.Holes.push_back({"?c0", Type::Bool, /*RightOnly=*/false});
+        Corr.Holes.push_back({"?c1", Type::Int, /*RightOnly=*/true});
+        Corr.Holes.push_back({"?c2", Type::Int, /*RightOnly=*/true});
+        Corr.Body = add(add(inputVar(Eq.Name + "_l", Type::Int),
+                            inputVar(Eq.Name + "_r", Type::Int)),
+                        ite(inputVar("?c0", Type::Bool),
+                            inputVar("?c1", Type::Int),
+                            inputVar("?c2", Type::Int)));
+        Component = searchSketch(Corr);
+      }
+
+      if (!Component && Options.AllowFallback) {
+        // Free-grammar search: the expected output vector indexes straight
+        // into the enumerator's observational classes. Grow the pool to the
+        // fallback bound on first use.
+        if (ELR.options().MaxSize < Options.FreeMaxSize) {
+          ELR.options().MaxSize = Options.FreeMaxSize;
+          ELR.run();
+          Result.Stats.EnumeratedCandidates = ELR.totalCandidates();
+        }
+        std::vector<Value> Target;
+        Target.reserve(Oracle.tests().size());
+        for (const JoinExample &Example : Oracle.tests())
+          Target.push_back(Example.Expected[I]);
+        if (const Candidate *C = ELR.findMatching(Eq.Ty, Target)) {
+          Component = C->E;
+          Fallback = true;
+        }
+      }
+
+      if (!Component && Options.UseSketch && Options.AllowEmptyGuard) {
+        // Last resort: C(E) wrapped in an "empty right chunk" guard —
+        // ite(<right state at init>, v_l, C(E)) — the homomorphism base
+        // case fE(x • []) = fE(x) made syntactic. Joins that must
+        // special-case an empty divide (e.g. line-sight's visibility flag,
+        // is-sorted's boundary test) live here. The guard hole draws from a
+        // dedicated tiny pool: "w_r == <literal init>" for every state
+        // variable with a literal initial value.
+        std::vector<Candidate> GuardPool;
+        for (const Equation &W : L.Equations) {
+          if (!isa<IntConstExpr>(W.Init) && !isa<BoolConstExpr>(W.Init))
+            continue;
+          ExprRef Guard = eq(inputVar(W.Name + "_r", W.Ty), W.Init);
+          Candidate C;
+          C.E = Guard;
+          C.Values.reserve(CombEnvs.size());
+          for (const Env &TestEnv : CombEnvs)
+            C.Values.push_back(evalExpr(Guard, TestEnv));
+          GuardPool.push_back(std::move(C));
+        }
+        if (!GuardPool.empty()) {
+          Sketch Guarded = compileSketch(Eq);
+          std::string GuardName =
+              "?g" + std::to_string(Guarded.Holes.size());
+          size_t GuardIndex = Guarded.Holes.size();
+          Guarded.Holes.push_back({GuardName, Type::Bool,
+                                   /*RightOnly=*/true});
+          Guarded.Body = ite(inputVar(GuardName, Type::Bool),
+                             inputVar(Eq.Name + "_l", Eq.Ty), Guarded.Body);
+          for (const auto &[SizeLR, SizeR] : Options.SketchTiers) {
+            std::vector<HolePool> Pools;
+            Pools.reserve(Guarded.Holes.size());
+            for (size_t H = 0; H != Guarded.Holes.size(); ++H) {
+              if (H == GuardIndex) {
+                HolePool Pool;
+                Pool.BySize.resize(4);
+                Pool.MinSize = 3; // eq(var, const) has term size 3
+                for (const Candidate &C : GuardPool)
+                  Pool.BySize[3].push_back(&C);
+                Pools.push_back(std::move(Pool));
+                continue;
+              }
+              const Hole &Ho = Guarded.Holes[H];
+              Pools.push_back(Ho.RightOnly ? makePool(ER, Ho.Ty, SizeR)
+                                           : makePool(ELR, Ho.Ty, SizeLR));
+            }
+            SketchSearch Search(Guarded, std::move(Pools), Oracle, I,
+                                Options.ProductBudget,
+                                Result.Stats.SketchAssignmentsTried);
+            Component = Search.run(std::max({SizeLR, SizeR, 3u}));
+            if (Component)
+              break;
+          }
+        }
+      }
+
+      if (!Component) {
+        AllSolved = false;
+        Result.Failure = "no join component found for state variable '" +
+                         Eq.Name + "'";
+        Result.FailedEquation = Eq.Name;
+        break;
+      }
+      Result.Components[I] = Component;
+      Result.FromFallback[I] = Fallback;
+    }
+
+    if (!AllSolved) {
+      Result.Success = false;
+      break;
+    }
+
+    // CEGIS validation on fresh inputs.
+    auto Cex = Oracle.findCounterexample(Result.Components,
+                                         Options.VerifyRounds);
+    if (!Cex) {
+      Result.Success = true;
+      Result.Failure.clear();
+      break;
+    }
+    if (Round == Options.CegisRounds) {
+      Result.Success = false;
+      Result.Failure = "CEGIS budget exhausted";
+      break;
+    }
+    Oracle.addTest(std::move(*Cex));
+  }
+
+  Result.Stats.Seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    StartTime)
+          .count();
+  return Result;
+}
+
+std::string parsynt::joinToString(const Loop &L,
+                                  const std::vector<ExprRef> &Components) {
+  std::ostringstream OS;
+  for (size_t I = 0; I != Components.size(); ++I) {
+    OS << L.Equations[I].Name << " = "
+       << (Components[I] ? exprToString(Components[I]) : "<unsolved>")
+       << "\n";
+  }
+  return OS.str();
+}

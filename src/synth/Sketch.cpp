@@ -1,0 +1,78 @@
+//===- synth/Sketch.cpp - Sketch compilation C(E) -------------------------===//
+//
+// Part of Parsynt-CXX, a reproduction of "Synthesis of Divide and Conquer
+// Parallelism for Loops" (PLDI 2017).
+//
+//===----------------------------------------------------------------------===//
+
+#include "synth/Sketch.h"
+#include "ir/ExprOps.h"
+
+using namespace parsynt;
+
+namespace {
+
+class SketchBuilder {
+public:
+  explicit SketchBuilder(std::vector<Hole> &Holes) : Holes(Holes) {}
+
+  ExprRef compile(const ExprRef &E) {
+    switch (E->kind()) {
+    case ExprKind::IntConst:
+    case ExprKind::BoolConst:
+      return makeHole(E->type(), /*RightOnly=*/true);
+    case ExprKind::Var: {
+      const auto *V = cast<VarExpr>(E);
+      return makeHole(V->type(),
+                      /*RightOnly=*/V->varClass() != VarClass::State);
+    }
+    case ExprKind::SeqAccess:
+      return makeHole(E->type(), /*RightOnly=*/true);
+    case ExprKind::Unary: {
+      const auto *U = cast<UnaryExpr>(E);
+      return UnaryExpr::get(U->op(), compile(U->operand()));
+    }
+    case ExprKind::Binary: {
+      // Explicit sequencing: holes are numbered left to right regardless of
+      // the compiler's argument evaluation order.
+      const auto *B = cast<BinaryExpr>(E);
+      ExprRef Lhs = compile(B->lhs());
+      ExprRef Rhs = compile(B->rhs());
+      return BinaryExpr::get(B->op(), std::move(Lhs), std::move(Rhs));
+    }
+    case ExprKind::Ite: {
+      const auto *I = cast<IteExpr>(E);
+      ExprRef Cond = compile(I->cond());
+      ExprRef Then = compile(I->thenExpr());
+      ExprRef Else = compile(I->elseExpr());
+      return IteExpr::get(std::move(Cond), std::move(Then), std::move(Else));
+    }
+    }
+    return E;
+  }
+
+private:
+  ExprRef makeHole(Type Ty, bool RightOnly) {
+    std::string Name = "?h" + std::to_string(Holes.size());
+    Holes.push_back({Name, Ty, RightOnly});
+    return inputVar(Name, Ty);
+  }
+
+  std::vector<Hole> &Holes;
+};
+
+} // namespace
+
+Sketch parsynt::compileSketch(const Equation &Eq) {
+  Sketch Result;
+  SketchBuilder Builder(Result.Holes);
+  Result.Body = Builder.compile(Eq.Update);
+  return Result;
+}
+
+std::string parsynt::sketchToString(const Sketch &S) {
+  Substitution Subst;
+  for (const Hole &H : S.Holes)
+    Subst[H.Name] = inputVar(H.RightOnly ? "??R" : "??LR", H.Ty);
+  return exprToString(substitute(S.Body, Subst));
+}

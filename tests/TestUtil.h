@@ -1,0 +1,122 @@
+//===- tests/TestUtil.h - Shared test helpers -------------------*- C++ -*-===//
+//
+// Part of Parsynt-CXX, a reproduction of "Synthesis of Divide and Conquer
+// Parallelism for Loops" (PLDI 2017).
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef PARSYNT_TESTS_TESTUTIL_H
+#define PARSYNT_TESTS_TESTUTIL_H
+
+#include "frontend/Convert.h"
+#include "interp/Interp.h"
+#include "interp/SemanticEq.h"
+#include "ir/ExprOps.h"
+#include "support/Random.h"
+
+#include <gtest/gtest.h>
+
+namespace parsynt {
+namespace test {
+
+/// Parses a loop or fails the test.
+inline Loop mustParse(const std::string &Source,
+                      const std::string &Name = "test") {
+  DiagnosticEngine Diags;
+  auto L = parseLoop(Source, Name, Diags);
+  EXPECT_TRUE(L.has_value()) << Diags.str();
+  return L ? *L : Loop();
+}
+
+/// Generates a random well-typed expression over the given variables.
+/// Depth 0 yields leaves. Exercises every operator of the Figure-4
+/// grammar.
+inline ExprRef randomExpr(Rng &R, unsigned Depth, Type Ty,
+                          const std::vector<std::pair<std::string, Type>>
+                              &Vars) {
+  if (Depth == 0 || R.chance(1, 5)) {
+    // Leaf: variable of the right type, or a constant.
+    std::vector<const std::pair<std::string, Type> *> Matching;
+    for (const auto &V : Vars)
+      if (V.second == Ty)
+        Matching.push_back(&V);
+    if (!Matching.empty() && R.chance(3, 4)) {
+      const auto *V = Matching[R.index(Matching.size())];
+      return inputVar(V->first, V->second);
+    }
+    if (Ty == Type::Int)
+      return intConst(R.intIn(-3, 3));
+    return boolConst(R.flip());
+  }
+  if (Ty == Type::Int) {
+    switch (R.intIn(0, 7)) {
+    case 0:
+      return add(randomExpr(R, Depth - 1, Type::Int, Vars),
+                 randomExpr(R, Depth - 1, Type::Int, Vars));
+    case 1:
+      return sub(randomExpr(R, Depth - 1, Type::Int, Vars),
+                 randomExpr(R, Depth - 1, Type::Int, Vars));
+    case 2:
+      return mul(randomExpr(R, Depth - 1, Type::Int, Vars),
+                 randomExpr(R, Depth - 1, Type::Int, Vars));
+    case 3:
+      return minE(randomExpr(R, Depth - 1, Type::Int, Vars),
+                  randomExpr(R, Depth - 1, Type::Int, Vars));
+    case 4:
+      return maxE(randomExpr(R, Depth - 1, Type::Int, Vars),
+                  randomExpr(R, Depth - 1, Type::Int, Vars));
+    case 5:
+      return neg(randomExpr(R, Depth - 1, Type::Int, Vars));
+    case 6:
+      return binary(BinaryOp::Div, randomExpr(R, Depth - 1, Type::Int, Vars),
+                    randomExpr(R, Depth - 1, Type::Int, Vars));
+    default:
+      return ite(randomExpr(R, Depth - 1, Type::Bool, Vars),
+                 randomExpr(R, Depth - 1, Type::Int, Vars),
+                 randomExpr(R, Depth - 1, Type::Int, Vars));
+    }
+  }
+  switch (R.intIn(0, 6)) {
+  case 0:
+    return andE(randomExpr(R, Depth - 1, Type::Bool, Vars),
+                randomExpr(R, Depth - 1, Type::Bool, Vars));
+  case 1:
+    return orE(randomExpr(R, Depth - 1, Type::Bool, Vars),
+               randomExpr(R, Depth - 1, Type::Bool, Vars));
+  case 2:
+    return notE(randomExpr(R, Depth - 1, Type::Bool, Vars));
+  case 3:
+    return lt(randomExpr(R, Depth - 1, Type::Int, Vars),
+              randomExpr(R, Depth - 1, Type::Int, Vars));
+  case 4:
+    return ge(randomExpr(R, Depth - 1, Type::Int, Vars),
+              randomExpr(R, Depth - 1, Type::Int, Vars));
+  case 5:
+    return eq(randomExpr(R, Depth - 1, Type::Int, Vars),
+              randomExpr(R, Depth - 1, Type::Int, Vars));
+  default:
+    return ite(randomExpr(R, Depth - 1, Type::Bool, Vars),
+               randomExpr(R, Depth - 1, Type::Bool, Vars),
+               randomExpr(R, Depth - 1, Type::Bool, Vars));
+  }
+}
+
+/// The standard variable menu used by the property tests.
+inline std::vector<std::pair<std::string, Type>> standardVars() {
+  return {{"x", Type::Int},  {"y", Type::Int},  {"z", Type::Int},
+          {"p", Type::Bool}, {"q", Type::Bool}};
+}
+
+/// Asserts that two expressions agree on many sampled environments, with a
+/// readable message when they do not.
+inline void expectEquivalent(const ExprRef &A, const ExprRef &B,
+                             uint64_t Seed = 99) {
+  Rng R(Seed);
+  EXPECT_TRUE(probablyEquivalent(A, B, R, 64))
+      << "A: " << exprToString(A) << "\nB: " << exprToString(B);
+}
+
+} // namespace test
+} // namespace parsynt
+
+#endif // PARSYNT_TESTS_TESTUTIL_H

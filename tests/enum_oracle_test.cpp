@@ -1,0 +1,162 @@
+//===- tests/enum_oracle_test.cpp - Enumerator / sketch / oracle tests ----===//
+//
+// Part of Parsynt-CXX, a reproduction of "Synthesis of Divide and Conquer
+// Parallelism for Loops" (PLDI 2017).
+//
+//===----------------------------------------------------------------------===//
+
+#include "synth/Enumerator.h"
+#include "synth/HomOracle.h"
+#include "synth/Sketch.h"
+#include "TestUtil.h"
+
+#include <gtest/gtest.h>
+
+using namespace parsynt;
+using namespace parsynt::test;
+
+namespace {
+
+std::vector<Env> smallEnvs() {
+  Rng R(77);
+  return sampleEnvs({{"x", Type::Int}, {"y", Type::Int}, {"p", Type::Bool}},
+                    24, R);
+}
+
+TEST(Enumerator, BuildsBySizeWithDedup) {
+  Enumerator E(smallEnvs());
+  E.addLeaf(inputVar("x"));
+  E.addLeaf(inputVar("y"));
+  E.addLeaf(intConst(0));
+  E.options().MaxSize = 3;
+  E.run();
+  // x + 0 is observationally x: never kept as a separate class.
+  for (const Candidate *C : E.candidatesUpTo(Type::Int, 3))
+    EXPECT_NE(exprToString(C->E), "(x + 0)");
+  // x + y exists.
+  bool Found = false;
+  for (const Candidate *C : E.candidatesUpTo(Type::Int, 3))
+    if (exprToString(C->E) == "(x + y)")
+      Found = true;
+  EXPECT_TRUE(Found);
+}
+
+TEST(Enumerator, FindMatchingByValueVector) {
+  std::vector<Env> Envs = smallEnvs();
+  Enumerator E(Envs);
+  E.addLeaf(inputVar("x"));
+  E.addLeaf(inputVar("y"));
+  E.options().MaxSize = 5;
+  E.run();
+  // Target: max(x, y) values.
+  std::vector<Value> Target;
+  for (const Env &TestEnv : Envs)
+    Target.push_back(evalExpr(maxE(inputVar("x"), inputVar("y")), TestEnv));
+  const Candidate *C = E.findMatching(Type::Int, Target);
+  ASSERT_NE(C, nullptr);
+  expectEquivalent(C->E, maxE(inputVar("x"), inputVar("y")));
+}
+
+TEST(Enumerator, IncrementalGrowth) {
+  Enumerator E(smallEnvs());
+  E.addLeaf(inputVar("x"));
+  E.addLeaf(inputVar("y"));
+  E.options().MaxSize = 3;
+  E.run();
+  size_t After3 = E.totalCandidates();
+  E.options().MaxSize = 5;
+  E.run();
+  EXPECT_GT(E.totalCandidates(), After3);
+}
+
+TEST(Enumerator, RespectsCaps) {
+  EnumeratorOptions Opts;
+  Opts.MaxSize = 7;
+  Opts.MaxPerType = 50;
+  Enumerator E(smallEnvs(), Opts);
+  E.addLeaf(inputVar("x"));
+  E.addLeaf(inputVar("y"));
+  E.addLeaf(intConst(1));
+  E.run();
+  EXPECT_LE(E.candidates(Type::Int).size(), 50u);
+}
+
+TEST(Sketch, CompilationFollowsC) {
+  // C(min(m2, max(m, s[i]))) == min(??LR, max(??LR, ??R)) — Example 4.2.
+  Loop L = mustParse("m = MAX_INT;\nm2 = MAX_INT;\n"
+                     "for (i = 0; i < |s|; i++) {\n"
+                     "  m2 = min(m2, max(m, s[i]));\n"
+                     "  m = min(m, s[i]);\n"
+                     "}");
+  Sketch S2 = compileSketch(L.Equations[0]); // m2
+  EXPECT_EQ(sketchToString(S2), "min(??LR, max(??LR, ??R))");
+  ASSERT_EQ(S2.Holes.size(), 3u);
+  EXPECT_FALSE(S2.Holes[0].RightOnly);
+  EXPECT_FALSE(S2.Holes[1].RightOnly);
+  EXPECT_TRUE(S2.Holes[2].RightOnly);
+
+  Sketch S1 = compileSketch(L.Equations[1]); // m
+  EXPECT_EQ(sketchToString(S1), "min(??LR, ??R)");
+}
+
+TEST(Sketch, ConstantsBecomeRightHoles) {
+  Loop L = mustParse("mts = 0;\n"
+                     "for (i = 0; i < |s|; i++) { mts = max(mts + s[i], 0); }");
+  Sketch S = compileSketch(L.Equations[0]);
+  EXPECT_EQ(sketchToString(S), "max((??LR + ??R), ??R)");
+}
+
+TEST(Sketch, HolesAreTyped) {
+  Loop L = mustParse("bal = true;\nofs = 0;\n"
+                     "for (i = 0; i < |s|; i++) {\n"
+                     "  ofs = ofs + 1;\n"
+                     "  bal = bal && (ofs >= 0);\n"
+                     "}");
+  Sketch S = compileSketch(*L.findEquation("bal"));
+  // First hole replaces the boolean state read; it must be typed bool.
+  ASSERT_FALSE(S.Holes.empty());
+  EXPECT_EQ(S.Holes[0].Ty, Type::Bool);
+}
+
+TEST(Oracle, SpecMatchesDefinition) {
+  Loop L = mustParse("sum = 0;\n"
+                     "for (i = 0; i < |s|; i++) { sum = sum + s[i]; }");
+  HomOracle Oracle(L);
+  ASSERT_FALSE(Oracle.tests().empty());
+  for (const JoinExample &T : Oracle.tests()) {
+    // Expected really is fE(x • y).
+    SeqEnv Whole = T.LeftSeqs;
+    for (const auto &[Name, Values] : T.RightSeqs) {
+      auto &Out = Whole[Name];
+      Out.insert(Out.end(), Values.begin(), Values.end());
+    }
+    EXPECT_EQ(runLoop(L, Whole, T.Params), T.Expected);
+  }
+}
+
+TEST(Oracle, AcceptsCorrectRejectsWrong) {
+  Loop L = mustParse("sum = 0;\n"
+                     "for (i = 0; i < |s|; i++) { sum = sum + s[i]; }");
+  HomOracle Oracle(L);
+  std::vector<ExprRef> Good = {add(inputVar("sum_l"), inputVar("sum_r"))};
+  EXPECT_FALSE(Oracle.findCounterexample(Good, 300).has_value());
+  std::vector<ExprRef> Bad = {maxE(inputVar("sum_l"), inputVar("sum_r"))};
+  EXPECT_TRUE(Oracle.findCounterexample(Bad, 300).has_value());
+
+  EXPECT_FALSE(Oracle.firstFailure(Good[0], 0).has_value());
+  EXPECT_TRUE(Oracle.firstFailure(Bad[0], 0).has_value());
+}
+
+TEST(Oracle, ElementPoolContainsLoopConstants) {
+  Loop L = mustParse("bal = true;\nofs = 0;\n"
+                     "for (i = 0; i < |s|; i++) {\n"
+                     "  if (s[i] == '(') { ofs = ofs + 1; }\n"
+                     "  else { ofs = ofs - 1; }\n"
+                     "  bal = bal && (ofs >= 0);\n"
+                     "}");
+  HomOracle Oracle(L);
+  const auto &Pool = Oracle.elementPool();
+  EXPECT_NE(std::find(Pool.begin(), Pool.end(), '('), Pool.end());
+}
+
+} // namespace

@@ -1,0 +1,203 @@
+//===- tests/frontend_test.cpp - Lexer/parser/converter tests -------------===//
+//
+// Part of Parsynt-CXX, a reproduction of "Synthesis of Divide and Conquer
+// Parallelism for Loops" (PLDI 2017).
+//
+//===----------------------------------------------------------------------===//
+
+#include "frontend/Convert.h"
+#include "frontend/Lexer.h"
+#include "frontend/Parser.h"
+#include "TestUtil.h"
+
+#include <gtest/gtest.h>
+
+using namespace parsynt;
+using namespace parsynt::test;
+
+namespace {
+
+TEST(Lexer, BasicTokens) {
+  DiagnosticEngine Diags;
+  auto Tokens = lex("for (i = 0; i < |s|; i++) { x = x + 'a'; }", Diags);
+  ASSERT_FALSE(Diags.hasErrors());
+  EXPECT_EQ(Tokens.front().Kind, TokKind::KwFor);
+  EXPECT_EQ(Tokens.back().Kind, TokKind::Eof);
+  // Character literal decodes to its code point.
+  bool FoundChar = false;
+  for (const Token &T : Tokens)
+    if (T.Kind == TokKind::IntLiteral && T.IntValue == 'a')
+      FoundChar = true;
+  EXPECT_TRUE(FoundChar);
+}
+
+TEST(Lexer, CommentsAndOperators) {
+  DiagnosticEngine Diags;
+  auto Tokens = lex("a // line comment\n/* block */ <= >= == != && ||", Diags);
+  ASSERT_FALSE(Diags.hasErrors());
+  std::vector<TokKind> Kinds;
+  for (const Token &T : Tokens)
+    Kinds.push_back(T.Kind);
+  EXPECT_EQ(Kinds, (std::vector<TokKind>{
+                       TokKind::Identifier, TokKind::Le, TokKind::Ge,
+                       TokKind::EqEq, TokKind::NotEq, TokKind::AndAnd,
+                       TokKind::OrOr, TokKind::Eof}));
+}
+
+TEST(Lexer, ReportsErrors) {
+  DiagnosticEngine Diags;
+  lex("a = #;", Diags);
+  EXPECT_TRUE(Diags.hasErrors());
+  DiagnosticEngine Diags2;
+  lex("a & b", Diags2);
+  EXPECT_TRUE(Diags2.hasErrors());
+}
+
+TEST(Parser, RejectsMalformedLoops) {
+  DiagnosticEngine Diags;
+  // Loop must start at zero.
+  EXPECT_EQ(parseProgram("x = 0; for (i = 1; i < |s|; i++) { x = x + 1; }",
+                         Diags),
+            nullptr);
+  DiagnosticEngine Diags2;
+  // Condition must test the index.
+  EXPECT_EQ(parseProgram("x = 0; for (i = 0; j < |s|; i++) { x = x + 1; }",
+                         Diags2),
+            nullptr);
+  DiagnosticEngine Diags3;
+  // Trailing garbage.
+  EXPECT_EQ(parseProgram(
+                "x = 0; for (i = 0; i < |s|; i++) { x = x + 1; } garbage",
+                Diags3),
+            nullptr);
+}
+
+TEST(Parser, PrecedenceAndTernary) {
+  Loop L = mustParse(
+      "x = 0;\n"
+      "for (i = 0; i < |s|; i++) { x = s[i] > 0 ? x + s[i] * 2 : x - 1; }");
+  EXPECT_EQ(exprToString(L.Equations[0].Update),
+            "((s[i] > 0) ? (x + (s[i] * 2)) : (x - 1))");
+}
+
+TEST(Convert, SecondSmallestLongForm) {
+  // The paper's Example 3.6: nested conditional statements convert into
+  // conditional expressions over the start-of-iteration state.
+  Loop L = mustParse("m = MAX_INT;\n"
+                     "m2 = MAX_INT;\n"
+                     "for (i = 0; i < |s|; i++) {\n"
+                     "  if (m > s[i]) {\n"
+                     "    if (m2 > m) { m2 = m; }\n"
+                     "  } else {\n"
+                     "    if (m2 > s[i]) { m2 = s[i]; }\n"
+                     "  }\n"
+                     "  if (m > s[i]) { m = s[i]; }\n"
+                     "}");
+  ASSERT_EQ(L.Equations.size(), 2u);
+  // Semantics: identical to the min/max short form.
+  Loop Short = mustParse("m = MAX_INT;\n"
+                         "m2 = MAX_INT;\n"
+                         "for (i = 0; i < |s|; i++) {\n"
+                         "  m2 = min(m2, max(m, s[i]));\n"
+                         "  m = min(m, s[i]);\n"
+                         "}");
+  Rng R(7);
+  for (int Round = 0; Round != 50; ++Round) {
+    SeqEnv Seqs;
+    std::vector<Value> Elems;
+    for (int I = 0, N = static_cast<int>(R.intIn(0, 8)); I != N; ++I)
+      Elems.push_back(Value::ofInt(R.intIn(-20, 20)));
+    Seqs["s"] = Elems;
+    // m2 is equation 0 in the long form (first assigned); align by name.
+    StateTuple A = runLoop(L, Seqs);
+    StateTuple B = runLoop(Short, Seqs);
+    Env EA = stateToEnv(L, A), EB = stateToEnv(Short, B);
+    EXPECT_EQ(EA.at("m"), EB.at("m"));
+    EXPECT_EQ(EA.at("m2"), EB.at("m2"));
+  }
+}
+
+TEST(Convert, SequentialDependencyWithinIteration) {
+  // ofs is updated before bal reads it; conversion must substitute the
+  // updated expression (Appendix A).
+  Loop L = mustParse("bal = true;\nofs = 0;\n"
+                     "for (i = 0; i < |s|; i++) {\n"
+                     "  if (s[i] == '(') { ofs = ofs + 1; }\n"
+                     "  else { ofs = ofs - 1; }\n"
+                     "  bal = bal && (ofs >= 0);\n"
+                     "}");
+  const Equation *Bal = L.findEquation("bal");
+  ASSERT_NE(Bal, nullptr);
+  // bal's update must contain the conditional ofs-update inline.
+  EXPECT_NE(exprToString(Bal->Update).find("?"), std::string::npos);
+
+  SeqEnv Seqs;
+  auto Str = [](const std::string &S) {
+    std::vector<Value> Out;
+    for (char C : S)
+      Out.push_back(Value::ofInt(C));
+    return Out;
+  };
+  Seqs["s"] = Str("(())");
+  Env E = stateToEnv(L, runLoop(L, Seqs));
+  EXPECT_TRUE(E.at("bal").asBool());
+  EXPECT_EQ(E.at("ofs").asInt(), 0);
+  Seqs["s"] = Str("())(");
+  E = stateToEnv(L, runLoop(L, Seqs));
+  EXPECT_FALSE(E.at("bal").asBool());
+}
+
+TEST(Convert, ImplicitParameters) {
+  Loop L = mustParse("res = 0;\np = 1;\n"
+                     "for (i = 0; i < |s|; i++) {\n"
+                     "  res = res + s[i] * p;\n"
+                     "  p = p * x;\n"
+                     "}");
+  ASSERT_EQ(L.Params.size(), 1u);
+  EXPECT_EQ(L.Params[0].Name, "x");
+}
+
+TEST(Convert, DerivedInitConstants) {
+  // A name initialized before the loop but never assigned inside acts as a
+  // derived constant folded into the body.
+  Loop L = mustParse("t = 5;\ncnt = 0;\n"
+                     "for (i = 0; i < |s|; i++) {\n"
+                     "  if (s[i] > t) { cnt = cnt + 1; }\n"
+                     "}");
+  EXPECT_EQ(L.Equations.size(), 1u);
+  SeqEnv Seqs;
+  Seqs["s"] = {Value::ofInt(10), Value::ofInt(3), Value::ofInt(6)};
+  EXPECT_EQ(runLoop(L, Seqs)[0].asInt(), 2);
+}
+
+TEST(Convert, ErrorsAreReported) {
+  DiagnosticEngine Diags;
+  // Uninitialized state variable.
+  EXPECT_FALSE(
+      parseLoop("for (i = 0; i < |s|; i++) { x = x + 1; }", "t", Diags)
+          .has_value());
+  EXPECT_TRUE(Diags.hasErrors());
+
+  DiagnosticEngine Diags2;
+  // Type error: boolean + int.
+  EXPECT_FALSE(parseLoop("x = true;\n"
+                         "for (i = 0; i < |s|; i++) { x = x && s[i] > 0; "
+                         "x = x + 1; }",
+                         "t", Diags2)
+                   .has_value());
+  EXPECT_TRUE(Diags2.hasErrors());
+}
+
+TEST(Convert, TwoSequences) {
+  Loop L = mustParse("ham = 0;\n"
+                     "for (i = 0; i < |s|; i++) {\n"
+                     "  if (s[i] != t[i]) { ham = ham + 1; }\n"
+                     "}");
+  EXPECT_EQ(L.Sequences.size(), 2u);
+  SeqEnv Seqs;
+  Seqs["s"] = {Value::ofInt(1), Value::ofInt(2), Value::ofInt(3)};
+  Seqs["t"] = {Value::ofInt(1), Value::ofInt(0), Value::ofInt(3)};
+  EXPECT_EQ(runLoop(L, Seqs)[0].asInt(), 1);
+}
+
+} // namespace

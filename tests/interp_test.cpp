@@ -1,0 +1,137 @@
+//===- tests/interp_test.cpp - Interpreter tests --------------------------===//
+//
+// Part of Parsynt-CXX, a reproduction of "Synthesis of Divide and Conquer
+// Parallelism for Loops" (PLDI 2017).
+//
+//===----------------------------------------------------------------------===//
+
+#include "interp/Interp.h"
+#include "interp/SemanticEq.h"
+#include "TestUtil.h"
+
+#include <gtest/gtest.h>
+
+using namespace parsynt;
+using namespace parsynt::test;
+
+namespace {
+
+TEST(Interp, ScalarOperators) {
+  Env E;
+  E["x"] = Value::ofInt(7);
+  E["y"] = Value::ofInt(-3);
+  EXPECT_EQ(evalExpr(add(inputVar("x"), inputVar("y")), E).asInt(), 4);
+  EXPECT_EQ(evalExpr(sub(inputVar("x"), inputVar("y")), E).asInt(), 10);
+  EXPECT_EQ(evalExpr(mul(inputVar("x"), inputVar("y")), E).asInt(), -21);
+  EXPECT_EQ(evalExpr(minE(inputVar("x"), inputVar("y")), E).asInt(), -3);
+  EXPECT_EQ(evalExpr(maxE(inputVar("x"), inputVar("y")), E).asInt(), 7);
+  EXPECT_TRUE(evalExpr(gt(inputVar("x"), inputVar("y")), E).asBool());
+  EXPECT_FALSE(evalExpr(eq(inputVar("x"), inputVar("y")), E).asBool());
+  EXPECT_EQ(evalExpr(neg(inputVar("x")), E).asInt(), -7);
+}
+
+TEST(Interp, TotalDivision) {
+  Env E;
+  E["x"] = Value::ofInt(7);
+  // x / 0 == 0 by the documented total semantics.
+  EXPECT_EQ(evalExpr(binary(BinaryOp::Div, inputVar("x"), intConst(0)), E)
+                .asInt(),
+            0);
+  EXPECT_EQ(evalExpr(binary(BinaryOp::Div, inputVar("x"), intConst(2)), E)
+                .asInt(),
+            3);
+}
+
+TEST(Interp, WrapAroundIsDefined) {
+  Env E;
+  E["x"] = Value::ofInt(INT64_MAX);
+  // Must not crash / trip UB sanitizers; wraps in two's complement.
+  EXPECT_EQ(evalExpr(add(inputVar("x"), intConst(1)), E).asInt(), INT64_MIN);
+  E["x"] = Value::ofInt(INT64_MIN);
+  EXPECT_EQ(evalExpr(neg(inputVar("x")), E).asInt(), INT64_MIN);
+}
+
+TEST(Interp, ShortCircuit) {
+  // (false && crash) is fine because && short-circuits; the right operand
+  // dividing by zero is harmless under total semantics anyway, so use an
+  // unbound-variable-free check: the ite branch not taken is not evaluated
+  // for sequence bounds.
+  Env E;
+  E["p"] = Value::ofBool(false);
+  SeqEnv Seqs;
+  Seqs["s"] = {Value::ofInt(5)};
+  // ite(p, s[99], 1): the out-of-range access is never evaluated.
+  ExprRef Guarded = ite(inputVar("p", Type::Bool),
+                        seqAccess("s", intConst(99)), intConst(1));
+  EXPECT_EQ(evalExpr(Guarded, E, Seqs).asInt(), 1);
+}
+
+TEST(Interp, RunLoopMatchesManualFold) {
+  Loop L = mustParse("mts = 0;\n"
+                     "for (i = 0; i < |s|; i++) { mts = max(mts + s[i], 0); }");
+  SeqEnv Seqs;
+  Seqs["s"] = {Value::ofInt(1), Value::ofInt(-2), Value::ofInt(3),
+               Value::ofInt(-1), Value::ofInt(3)};
+  // Paper Section 2: mts([1,-2,3,-1,3]) == 5.
+  EXPECT_EQ(runLoop(L, Seqs)[0].asInt(), 5);
+}
+
+TEST(Interp, RunLoopRangeComposes) {
+  Loop L = mustParse("sum = 0;\nmx = MIN_INT;\n"
+                     "for (i = 0; i < |s|; i++) {\n"
+                     "  sum = sum + s[i];\n  mx = max(mx, s[i]);\n}");
+  Rng R(3);
+  SeqEnv Seqs;
+  std::vector<Value> Elems;
+  for (int I = 0; I != 64; ++I)
+    Elems.push_back(Value::ofInt(R.intIn(-50, 50)));
+  Seqs["s"] = Elems;
+  StateTuple Whole = runLoop(L, Seqs);
+  // Running [0,k) then continuing [k,n) from the midpoint state matches.
+  for (int64_t K : {0, 1, 17, 63, 64}) {
+    StateTuple Mid = runLoopRange(L, initialState(L), Seqs, 0, K);
+    StateTuple End = runLoopRange(L, Mid, Seqs, K, 64);
+    EXPECT_EQ(End, Whole);
+  }
+}
+
+TEST(Interp, StepLoopIsSimultaneous) {
+  // a and b swap: simultaneous semantics must not cascade.
+  Loop L;
+  L.Name = "swap";
+  L.Sequences.push_back({"s", Type::Int});
+  Equation A{"a", Type::Int, intConst(1), stateVar("b"), false};
+  Equation B{"b", Type::Int, intConst(2), stateVar("a"), false};
+  L.Equations = {A, B};
+  ASSERT_FALSE(L.validate().has_value());
+  SeqEnv Seqs;
+  Seqs["s"] = {Value::ofInt(0)};
+  StateTuple S = stepLoop(L, initialState(L), Seqs, 0);
+  EXPECT_EQ(S[0].asInt(), 2);
+  EXPECT_EQ(S[1].asInt(), 1);
+}
+
+TEST(Interp, ParamsThreadThrough) {
+  Loop L = mustParse("res = 0;\np = 1;\n"
+                     "for (i = 0; i < |s|; i++) {\n"
+                     "  res = res + s[i] * p;\n  p = p * x;\n}");
+  SeqEnv Seqs;
+  Seqs["s"] = {Value::ofInt(1), Value::ofInt(2), Value::ofInt(3)};
+  Env Params;
+  Params["x"] = Value::ofInt(10);
+  // 1 + 2*10 + 3*100 = 321.
+  EXPECT_EQ(runLoop(L, Seqs, Params)[0].asInt(), 321);
+}
+
+TEST(SemanticEq, DistinguishesAndIdentifies) {
+  Rng R(5);
+  ExprRef X = inputVar("x"), Y = inputVar("y");
+  EXPECT_TRUE(probablyEquivalent(add(X, Y), add(Y, X), R));
+  EXPECT_TRUE(probablyEquivalent(maxE(X, Y), maxE(Y, X), R));
+  EXPECT_FALSE(probablyEquivalent(sub(X, Y), sub(Y, X), R));
+  EXPECT_FALSE(probablyEquivalent(X, Y, R));
+  // Type mismatch is never equivalent.
+  EXPECT_FALSE(probablyEquivalent(X, lt(X, Y), R));
+}
+
+} // namespace

@@ -1,0 +1,151 @@
+//===- tests/ir_test.cpp - Expression IR unit tests -----------------------===//
+//
+// Part of Parsynt-CXX, a reproduction of "Synthesis of Divide and Conquer
+// Parallelism for Loops" (PLDI 2017).
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/Expr.h"
+#include "ir/ExprOps.h"
+#include "ir/Loop.h"
+#include "TestUtil.h"
+
+#include <gtest/gtest.h>
+
+using namespace parsynt;
+using namespace parsynt::test;
+
+namespace {
+
+TEST(Expr, ConstructionAndAccessors) {
+  ExprRef C = intConst(42);
+  EXPECT_EQ(C->kind(), ExprKind::IntConst);
+  EXPECT_EQ(C->type(), Type::Int);
+  EXPECT_EQ(cast<IntConstExpr>(C)->value(), 42);
+  EXPECT_EQ(C->size(), 1u);
+  EXPECT_EQ(C->depth(), 1u);
+
+  ExprRef B = boolConst(true);
+  EXPECT_TRUE(cast<BoolConstExpr>(B)->value());
+  EXPECT_EQ(B->type(), Type::Bool);
+
+  ExprRef V = stateVar("sum");
+  EXPECT_EQ(cast<VarExpr>(V)->varClass(), VarClass::State);
+  ExprRef I = inputVar("x");
+  EXPECT_EQ(cast<VarExpr>(I)->varClass(), VarClass::Input);
+
+  ExprRef Sum = add(V, I);
+  EXPECT_EQ(Sum->size(), 3u);
+  EXPECT_EQ(Sum->depth(), 2u);
+  EXPECT_EQ(cast<BinaryExpr>(Sum)->op(), BinaryOp::Add);
+}
+
+TEST(Expr, RttiDispatch) {
+  ExprRef E = maxE(intConst(1), inputVar("x"));
+  EXPECT_TRUE(isa<BinaryExpr>(E));
+  EXPECT_FALSE(isa<IteExpr>(E));
+  EXPECT_EQ(dyn_cast<IteExpr>(E), nullptr);
+  EXPECT_NE(dyn_cast<BinaryExpr>(E), nullptr);
+}
+
+TEST(Expr, StructuralEquality) {
+  ExprRef A = add(inputVar("x"), intConst(1));
+  ExprRef B = add(inputVar("x"), intConst(1));
+  ExprRef C = add(inputVar("x"), intConst(2));
+  EXPECT_TRUE(exprEquals(A, B));
+  EXPECT_FALSE(exprEquals(A, C));
+  EXPECT_EQ(A->hash(), B->hash());
+}
+
+TEST(Expr, Printing) {
+  ExprRef E = maxE(add(stateVar("mts"), seqAccess("s", inputVar("i"))),
+                   intConst(0));
+  EXPECT_EQ(exprToString(E), "max((mts + s[i]), 0)");
+  ExprRef T = ite(lt(inputVar("x"), intConst(0)), neg(inputVar("x")),
+                  inputVar("x"));
+  EXPECT_EQ(exprToString(T), "((x < 0) ? -(x) : x)");
+}
+
+TEST(ExprOps, Substitution) {
+  ExprRef E = add(stateVar("a"), mul(stateVar("b"), intConst(2)));
+  Substitution Subst;
+  Subst["a"] = intConst(10);
+  Subst["b"] = inputVar("x");
+  ExprRef Result = substitute(E, Subst);
+  EXPECT_EQ(exprToString(Result), "(10 + (x * 2))");
+  // The original is untouched (immutability).
+  EXPECT_EQ(exprToString(E), "(a + (b * 2))");
+}
+
+TEST(ExprOps, SubstitutionInsideSeqIndex) {
+  ExprRef E = seqAccess("s", add(stateVar("k"), intConst(1)));
+  Substitution Subst;
+  Subst["k"] = intConst(5);
+  EXPECT_EQ(exprToString(substitute(E, Subst)), "s[(5 + 1)]");
+}
+
+TEST(ExprOps, CollectVars) {
+  ExprRef E = andE(lt(stateVar("a"), inputVar("x")),
+                   eq(stateVar("b"), intConst(0)));
+  auto States = collectVars(E, VarClass::State);
+  EXPECT_EQ(States.size(), 2u);
+  EXPECT_TRUE(States.count("a"));
+  EXPECT_TRUE(States.count("b"));
+  auto Inputs = collectVars(E, VarClass::Input);
+  EXPECT_EQ(Inputs.size(), 1u);
+  EXPECT_TRUE(Inputs.count("x"));
+}
+
+TEST(ExprOps, CostFunction) {
+  // Definition 6.1 on the paper's mts example: the unknown mts0 at depth 3.
+  ExprRef U = unknownVar("mts0");
+  ExprRef E = maxE(add(maxE(add(U, inputVar("a")), intConst(0)),
+                       inputVar("b")),
+                   intConst(0));
+  ExprCost Cost = exprCost(E, {"mts0"});
+  EXPECT_EQ(Cost.MaxDepth, 4u);
+  EXPECT_EQ(Cost.Occurrences, 1u);
+
+  // Rewritten with the unknown at depth 2, cost is strictly lower.
+  ExprRef Better = maxE(add(U, add(inputVar("a"), inputVar("b"))),
+                        maxE(add(inputVar("a"), inputVar("b")), intConst(0)));
+  EXPECT_TRUE(exprCost(Better, {"mts0"}) < Cost);
+}
+
+TEST(ExprOps, MaxVarDepthAndOccurrences) {
+  ExprRef U = unknownVar("u");
+  ExprRef E = add(U, mul(U, intConst(2)));
+  EXPECT_EQ(countOccurrences(E, {"u"}), 2u);
+  EXPECT_EQ(maxVarDepth(E, {"u"}), 2u);
+  EXPECT_EQ(maxVarDepth(E, {"missing"}), 0u);
+}
+
+TEST(Loop, ValidationCatchesErrors) {
+  Loop L = mustParse("sum = 0;\n"
+                     "for (i = 0; i < |s|; i++) { sum = sum + s[i]; }");
+  EXPECT_FALSE(L.validate().has_value());
+
+  // Duplicate state name.
+  Loop Bad = L;
+  Bad.Equations.push_back(Bad.Equations[0]);
+  EXPECT_TRUE(Bad.validate().has_value());
+
+  // Init reading a sequence.
+  Loop Bad2 = L;
+  Bad2.Equations[0].Init = seqAccess("s", intConst(0));
+  EXPECT_TRUE(Bad2.validate().has_value());
+}
+
+TEST(Loop, Accessors) {
+  Loop L = mustParse("a = 0;\nb = 0;\n"
+                     "for (i = 0; i < |s|; i++) { a = a + s[i]; b = b + 1; }");
+  EXPECT_EQ(L.stateVarNames(), (std::vector<std::string>{"a", "b"}));
+  EXPECT_NE(L.findEquation("a"), nullptr);
+  EXPECT_EQ(L.findEquation("zzz"), nullptr);
+  EXPECT_EQ(L.equationIndex("b"), 1u);
+  EXPECT_EQ(L.auxiliaryCount(), 0u);
+  EXPECT_TRUE(L.hasSequence("s"));
+  EXPECT_FALSE(L.hasSequence("t"));
+}
+
+} // namespace

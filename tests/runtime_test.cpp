@@ -1,0 +1,155 @@
+//===- tests/runtime_test.cpp - TaskPool / parallelReduce tests -----------===//
+//
+// Part of Parsynt-CXX, a reproduction of "Synthesis of Divide and Conquer
+// Parallelism for Loops" (PLDI 2017).
+//
+//===----------------------------------------------------------------------===//
+
+#include "pipeline/Parallelizer.h"
+#include "runtime/InterpReduce.h"
+#include "runtime/ParallelReduce.h"
+#include "suite/Benchmarks.h"
+#include "TestUtil.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+
+using namespace parsynt;
+using namespace parsynt::test;
+
+namespace {
+
+TEST(TaskPool, RunsAllSpawnedTasks) {
+  TaskPool Pool(4);
+  std::atomic<int> Counter{0};
+  TaskGroup Group;
+  for (int I = 0; I != 1000; ++I)
+    Pool.spawn(Group, [&] { Counter.fetch_add(1); });
+  Pool.wait(Group);
+  EXPECT_EQ(Counter.load(), 1000);
+}
+
+TEST(TaskPool, SingleThreadPoolWorks) {
+  TaskPool Pool(1);
+  std::atomic<int> Counter{0};
+  TaskGroup Group;
+  for (int I = 0; I != 100; ++I)
+    Pool.spawn(Group, [&] { Counter.fetch_add(1); });
+  Pool.wait(Group);
+  EXPECT_EQ(Counter.load(), 100);
+}
+
+TEST(TaskPool, NestedSpawnDoesNotDeadlock) {
+  TaskPool Pool(2);
+  std::atomic<int> Counter{0};
+  TaskGroup Outer;
+  for (int I = 0; I != 16; ++I) {
+    Pool.spawn(Outer, [&] {
+      TaskGroup Inner;
+      for (int J = 0; J != 16; ++J)
+        Pool.spawn(Inner, [&] { Counter.fetch_add(1); });
+      Pool.wait(Inner);
+    });
+  }
+  Pool.wait(Outer);
+  EXPECT_EQ(Counter.load(), 256);
+}
+
+TEST(ParallelReduce, MatchesSequentialSum) {
+  std::vector<int64_t> Data(100001);
+  std::iota(Data.begin(), Data.end(), -50000);
+  TaskPool Pool(4);
+  auto Leaf = [&](size_t B, size_t E) {
+    return std::accumulate(Data.begin() + B, Data.begin() + E, int64_t(0));
+  };
+  auto Join = [](int64_t A, int64_t B) { return A + B; };
+  for (size_t Grain : {1ul, 7ul, 100ul, 100000ul, 1000000ul}) {
+    int64_t Par =
+        parallelReduce<int64_t>({0, Data.size(), Grain}, Pool, Leaf, Join);
+    EXPECT_EQ(Par, Leaf(0, Data.size())) << "grain " << Grain;
+  }
+}
+
+TEST(ParallelReduce, DeterministicForNonCommutativeJoin) {
+  // String-concatenation-like join: result must equal the in-order fold
+  // regardless of scheduling (the join tree is fixed by the recursion).
+  std::vector<int64_t> Data(5000);
+  for (size_t I = 0; I != Data.size(); ++I)
+    Data[I] = static_cast<int64_t>(I % 10);
+  TaskPool Pool(4);
+  auto Leaf = [&](size_t B, size_t E) {
+    std::string S;
+    for (size_t I = B; I != E; ++I)
+      S += static_cast<char>('0' + Data[I]);
+    return S;
+  };
+  auto Join = [](const std::string &A, const std::string &B) {
+    return A + B;
+  };
+  std::string Expected = Leaf(0, Data.size());
+  for (int Round = 0; Round != 5; ++Round)
+    EXPECT_EQ(parallelReduce<std::string>({0, Data.size(), 64}, Pool, Leaf,
+                                          Join),
+              Expected);
+}
+
+TEST(ParallelReduce, EmptyAndTinyRanges) {
+  TaskPool Pool(2);
+  auto Leaf = [&](size_t B, size_t E) {
+    return static_cast<int64_t>(E - B);
+  };
+  auto Join = [](int64_t A, int64_t B) { return A + B; };
+  EXPECT_EQ(parallelReduce<int64_t>({0, 0, 4}, Pool, Leaf, Join), 0);
+  EXPECT_EQ(parallelReduce<int64_t>({5, 6, 4}, Pool, Leaf, Join), 1);
+}
+
+TEST(SequentialReduce, SameTreeAsParallel) {
+  std::vector<int64_t> Data(999);
+  std::iota(Data.begin(), Data.end(), 1);
+  TaskPool Pool(3);
+  auto Leaf = [&](size_t B, size_t E) {
+    int64_t M = INT64_MIN;
+    for (size_t I = B; I != E; ++I)
+      M = std::max(M, Data[I]);
+    return M;
+  };
+  auto Join = [](int64_t A, int64_t B) { return std::max(A, B); };
+  EXPECT_EQ(sequentialReduce<int64_t>({0, Data.size(), 10}, Leaf, Join),
+            parallelReduce<int64_t>({0, Data.size(), 10}, Pool, Leaf, Join));
+}
+
+TEST(InterpReduce, RunsSynthesizedJoinOnData) {
+  Loop L = parseBenchmark(*findBenchmark("balanced-()"));
+  PipelineResult Result = parallelizeLoop(L);
+  ASSERT_TRUE(Result.Success) << Result.report();
+
+  TaskPool Pool(4);
+  Rng R(0xFEED);
+  for (int Round = 0; Round != 10; ++Round) {
+    size_t Len = static_cast<size_t>(R.intIn(0, 3000));
+    SeqEnv Seqs;
+    std::vector<Value> Elems;
+    for (size_t I = 0; I != Len; ++I)
+      Elems.push_back(Value::ofInt(R.flip() ? '(' : ')'));
+    Seqs["s"] = std::move(Elems);
+    StateTuple Par = parallelRunLoop(Result.Final, Result.Join.Components,
+                                     Seqs, Pool, /*Grain=*/37);
+    StateTuple Seq = runLoop(Result.Final, Seqs);
+    ASSERT_EQ(Par, Seq) << "round " << Round;
+  }
+}
+
+TEST(InterpReduce, EmptyInput) {
+  Loop L = mustParse("sum = 0;\n"
+                     "for (i = 0; i < |s|; i++) { sum = sum + s[i]; }");
+  std::vector<ExprRef> Join = {add(inputVar("sum_l"), inputVar("sum_r"))};
+  TaskPool Pool(2);
+  SeqEnv Seqs;
+  Seqs["s"] = {};
+  StateTuple S = parallelRunLoop(L, Join, Seqs, Pool, 16);
+  EXPECT_EQ(S[0].asInt(), 0);
+}
+
+} // namespace

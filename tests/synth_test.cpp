@@ -1,0 +1,108 @@
+//===- tests/synth_test.cpp - Join synthesis tests ------------------------===//
+//
+// Part of Parsynt-CXX, a reproduction of "Synthesis of Divide and Conquer
+// Parallelism for Loops" (PLDI 2017).
+//
+//===----------------------------------------------------------------------===//
+
+#include "frontend/Convert.h"
+#include "interp/Interp.h"
+#include "support/Random.h"
+#include "synth/JoinSynth.h"
+
+#include <gtest/gtest.h>
+
+using namespace parsynt;
+
+namespace {
+
+Loop mustParse(const std::string &Source, const std::string &Name) {
+  DiagnosticEngine Diags;
+  auto L = parseLoop(Source, Name, Diags);
+  EXPECT_TRUE(L.has_value()) << Diags.str();
+  return *L;
+}
+
+/// Checks a synthesized join against the homomorphism property on fresh
+/// random inputs well beyond the synthesis bound.
+void expectJoinCorrect(const Loop &L, const JoinResult &Join,
+                       unsigned Rounds = 200, unsigned MaxLen = 12) {
+  ASSERT_TRUE(Join.Success) << Join.Failure;
+  Rng R(0xABCD);
+  for (unsigned Round = 0; Round != Rounds; ++Round) {
+    SeqEnv Left, Right, Whole;
+    size_t LenL = static_cast<size_t>(R.intIn(0, MaxLen));
+    size_t LenR = static_cast<size_t>(R.intIn(0, MaxLen));
+    for (const SeqDecl &S : L.Sequences) {
+      std::vector<Value> Lv, Rv;
+      for (size_t I = 0; I != LenL; ++I)
+        Lv.push_back(Value::ofInt(R.intIn(-50, 50)));
+      for (size_t I = 0; I != LenR; ++I)
+        Rv.push_back(Value::ofInt(R.intIn(-50, 50)));
+      std::vector<Value> Wv = Lv;
+      Wv.insert(Wv.end(), Rv.begin(), Rv.end());
+      Left[S.Name] = Lv;
+      Right[S.Name] = Rv;
+      Whole[S.Name] = Wv;
+    }
+    Env Params;
+    for (const ParamDecl &P : L.Params)
+      Params[P.Name] = Value::ofInt(R.intIn(-3, 3));
+    StateTuple Lt = runLoop(L, Left, Params);
+    StateTuple Rt = runLoop(L, Right, Params);
+    StateTuple Expected = runLoop(L, Whole, Params);
+    Env E = Params;
+    for (size_t I = 0; I != L.Equations.size(); ++I) {
+      E[L.Equations[I].Name + "_l"] = Lt[I];
+      E[L.Equations[I].Name + "_r"] = Rt[I];
+    }
+    for (size_t I = 0; I != L.Equations.size(); ++I)
+      ASSERT_EQ(evalExpr(Join.Components[I], E), Expected[I])
+          << "component " << L.Equations[I].Name << " = "
+          << exprToString(Join.Components[I]);
+  }
+}
+
+TEST(JoinSynth, Sum) {
+  Loop L = mustParse("sum = 0;\n"
+                     "for (i = 0; i < |s|; i++) { sum = sum + s[i]; }",
+                     "sum");
+  JoinResult Join = synthesizeJoin(L);
+  expectJoinCorrect(L, Join);
+}
+
+TEST(JoinSynth, SecondSmallest) {
+  Loop L = mustParse("m = MAX_INT;\n"
+                     "m2 = MAX_INT;\n"
+                     "for (i = 0; i < |s|; i++) {\n"
+                     "  m2 = min(m2, max(m, s[i]));\n"
+                     "  m = min(m, s[i]);\n"
+                     "}",
+                     "2nd-min");
+  JoinResult Join = synthesizeJoin(L);
+  expectJoinCorrect(L, Join);
+}
+
+TEST(JoinSynth, MtsHasNoJoin) {
+  Loop L = mustParse("mts = 0;\n"
+                     "for (i = 0; i < |s|; i++) {\n"
+                     "  mts = max(mts + s[i], 0);\n"
+                     "}",
+                     "mts");
+  JoinResult Join = synthesizeJoin(L);
+  EXPECT_FALSE(Join.Success);
+}
+
+TEST(JoinSynth, MtsLiftedByHand) {
+  Loop L = mustParse("mts = 0;\n"
+                     "sum = 0;\n"
+                     "for (i = 0; i < |s|; i++) {\n"
+                     "  mts = max(mts + s[i], 0);\n"
+                     "  sum = sum + s[i];\n"
+                     "}",
+                     "mts-lifted");
+  JoinResult Join = synthesizeJoin(L);
+  expectJoinCorrect(L, Join);
+}
+
+} // namespace

@@ -1,0 +1,165 @@
+//===- tools/parsynt/main.cpp - The PARSYNT command-line driver -----------===//
+//
+// Part of Parsynt-CXX, a reproduction of "Synthesis of Divide and Conquer
+// Parallelism for Loops" (PLDI 2017).
+//
+//===----------------------------------------------------------------------===//
+//
+// Usage:
+//   parsynt <file>                parallelize the loop in <file>
+//   parsynt --benchmark <name>    parallelize a Table-1 benchmark
+//   parsynt --list                list the Table-1 benchmarks
+//   Flags: --emit-dafny <path>    write the Figure-7 proof artifact
+//          --check-proof          check the induction obligations
+//          --selftest             run the join on random data in parallel
+//                                 and compare with the sequential loop
+//
+//===----------------------------------------------------------------------===//
+
+#include "codegen/EmitCpp.h"
+#include "frontend/Convert.h"
+#include "pipeline/Parallelizer.h"
+#include "proof/DafnyEmit.h"
+#include "proof/ProofCheck.h"
+#include "runtime/InterpReduce.h"
+#include "suite/Benchmarks.h"
+#include "support/Random.h"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+using namespace parsynt;
+
+namespace {
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: parsynt [<file> | --benchmark <name> | --list]\n"
+               "               [--emit-dafny <path>] [--check-proof] "
+               "[--selftest]\n");
+  return 2;
+}
+
+bool runSelfTest(const PipelineResult &Result) {
+  const Loop &L = Result.Final;
+  TaskPool Pool(std::thread::hardware_concurrency());
+  Rng R(0x7357);
+  for (unsigned Round = 0; Round != 20; ++Round) {
+    size_t Len = static_cast<size_t>(R.intIn(0, 4000));
+    SeqEnv Seqs;
+    for (const SeqDecl &S : L.Sequences) {
+      std::vector<Value> Elems;
+      for (size_t I = 0; I != Len; ++I)
+        Elems.push_back(Value::ofInt(R.intIn(-60, 60)));
+      Seqs[S.Name] = std::move(Elems);
+    }
+    Env Params;
+    for (const ParamDecl &P : L.Params)
+      Params[P.Name] = Value::ofInt(R.intIn(-3, 3));
+    StateTuple Seq = runLoop(L, Seqs, Params);
+    StateTuple Par = parallelRunLoop(L, Result.Join.Components, Seqs, Pool,
+                                     /*Grain=*/64, Params);
+    if (Seq != Par) {
+      std::printf("selftest MISMATCH at round %u\n  sequential: %s\n  "
+                  "parallel:   %s\n",
+                  Round, stateToString(L, Seq).c_str(),
+                  stateToString(L, Par).c_str());
+      return false;
+    }
+  }
+  std::printf("selftest: 20 parallel runs match the sequential loop\n");
+  return true;
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  std::string File, BenchmarkName, DafnyPath, CppPath;
+  bool CheckProof = false, SelfTest = false, List = false;
+
+  for (int I = 1; I < argc; ++I) {
+    std::string Arg = argv[I];
+    if (Arg == "--benchmark" && I + 1 < argc)
+      BenchmarkName = argv[++I];
+    else if (Arg == "--emit-dafny" && I + 1 < argc)
+      DafnyPath = argv[++I];
+    else if (Arg == "--emit-cpp" && I + 1 < argc)
+      CppPath = argv[++I];
+    else if (Arg == "--check-proof")
+      CheckProof = true;
+    else if (Arg == "--selftest")
+      SelfTest = true;
+    else if (Arg == "--list")
+      List = true;
+    else if (!Arg.empty() && Arg[0] == '-')
+      return usage();
+    else
+      File = Arg;
+  }
+
+  if (List) {
+    for (const Benchmark &B : allBenchmarks())
+      std::printf("%-12s %s\n", B.Name.c_str(), B.Description.c_str());
+    return 0;
+  }
+
+  Loop L;
+  if (!BenchmarkName.empty()) {
+    const Benchmark *B = findBenchmark(BenchmarkName);
+    if (!B) {
+      std::fprintf(stderr, "error: unknown benchmark '%s' (try --list)\n",
+                   BenchmarkName.c_str());
+      return 2;
+    }
+    L = parseBenchmark(*B);
+  } else if (!File.empty()) {
+    std::ifstream In(File);
+    if (!In) {
+      std::fprintf(stderr, "error: cannot open '%s'\n", File.c_str());
+      return 2;
+    }
+    std::ostringstream Buffer;
+    Buffer << In.rdbuf();
+    DiagnosticEngine Diags;
+    auto Parsed = parseLoop(Buffer.str(), File, Diags);
+    if (!Parsed) {
+      std::fprintf(stderr, "%s", Diags.str().c_str());
+      return 1;
+    }
+    L = *Parsed;
+  } else {
+    return usage();
+  }
+
+  PipelineResult Result = parallelizeLoop(L);
+  std::printf("%s", Result.report().c_str());
+  std::printf("times: join %.2fs, lift %.2fs, total %.2fs\n",
+              Result.JoinSeconds, Result.LiftSeconds, Result.TotalSeconds);
+  if (!Result.Success)
+    return 1;
+
+  if (CheckProof) {
+    ProofReport Proof =
+        checkHomomorphismProof(Result.Final, Result.Join.Components);
+    std::printf("%s\n", Proof.str().c_str());
+    if (!Proof.Verified)
+      return 1;
+  }
+  if (!DafnyPath.empty()) {
+    std::ofstream Out(DafnyPath);
+    Out << emitDafnyProof(Result.Final, Result.Join.Components);
+    std::printf("wrote Dafny artifact to %s\n", DafnyPath.c_str());
+  }
+  if (!CppPath.empty()) {
+    std::ofstream Out(CppPath);
+    Out << emitParallelCpp(Result.Final, Result.Join.Components);
+    std::printf("wrote parallel C++ to %s (build: g++ -O2 -std=c++17 "
+                "-pthread %s)\n",
+                CppPath.c_str(), CppPath.c_str());
+  }
+  if (SelfTest && !runSelfTest(Result))
+    return 1;
+  return 0;
+}
