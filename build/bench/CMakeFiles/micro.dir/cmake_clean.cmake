@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro.dir/micro.cpp.o"
+  "CMakeFiles/micro.dir/micro.cpp.o.d"
+  "micro"
+  "micro.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/balanced_parens.dir/balanced_parens.cpp.o"
+  "CMakeFiles/balanced_parens.dir/balanced_parens.cpp.o.d"
+  "balanced_parens"
+  "balanced_parens.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/balanced_parens.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/custom_runtime.dir/custom_runtime.cpp.o"
+  "CMakeFiles/custom_runtime.dir/custom_runtime.cpp.o.d"
+  "custom_runtime"
+  "custom_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/custom_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

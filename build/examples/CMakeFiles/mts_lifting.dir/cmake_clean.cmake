@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mts_lifting.dir/mts_lifting.cpp.o"
+  "CMakeFiles/mts_lifting.dir/mts_lifting.cpp.o.d"
+  "mts_lifting"
+  "mts_lifting.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mts_lifting.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for mts_lifting.
+# This may be replaced when dependencies are built.

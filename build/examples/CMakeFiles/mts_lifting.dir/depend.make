@@ -1,0 +1,2 @@
+# Empty dependencies file for mts_lifting.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("support")
+subdirs("ir")
+subdirs("frontend")
+subdirs("interp")
+subdirs("normalize")
+subdirs("lift")
+subdirs("synth")
+subdirs("proof")
+subdirs("runtime")
+subdirs("suite")
+subdirs("pipeline")
+subdirs("codegen")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/parsynt_codegen.dir/EmitCpp.cpp.o"
+  "CMakeFiles/parsynt_codegen.dir/EmitCpp.cpp.o.d"
+  "libparsynt_codegen.a"
+  "libparsynt_codegen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/parsynt_codegen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

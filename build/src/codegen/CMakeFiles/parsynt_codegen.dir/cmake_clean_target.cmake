@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libparsynt_codegen.a"
+)

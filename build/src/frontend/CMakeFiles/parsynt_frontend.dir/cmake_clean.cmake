@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/parsynt_frontend.dir/Convert.cpp.o"
+  "CMakeFiles/parsynt_frontend.dir/Convert.cpp.o.d"
+  "CMakeFiles/parsynt_frontend.dir/Lexer.cpp.o"
+  "CMakeFiles/parsynt_frontend.dir/Lexer.cpp.o.d"
+  "CMakeFiles/parsynt_frontend.dir/Parser.cpp.o"
+  "CMakeFiles/parsynt_frontend.dir/Parser.cpp.o.d"
+  "libparsynt_frontend.a"
+  "libparsynt_frontend.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/parsynt_frontend.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

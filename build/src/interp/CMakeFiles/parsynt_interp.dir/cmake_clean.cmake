@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/parsynt_interp.dir/Interp.cpp.o"
+  "CMakeFiles/parsynt_interp.dir/Interp.cpp.o.d"
+  "CMakeFiles/parsynt_interp.dir/SemanticEq.cpp.o"
+  "CMakeFiles/parsynt_interp.dir/SemanticEq.cpp.o.d"
+  "libparsynt_interp.a"
+  "libparsynt_interp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/parsynt_interp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ir/Expr.cpp" "src/ir/CMakeFiles/parsynt_ir.dir/Expr.cpp.o" "gcc" "src/ir/CMakeFiles/parsynt_ir.dir/Expr.cpp.o.d"
+  "/root/repo/src/ir/ExprOps.cpp" "src/ir/CMakeFiles/parsynt_ir.dir/ExprOps.cpp.o" "gcc" "src/ir/CMakeFiles/parsynt_ir.dir/ExprOps.cpp.o.d"
+  "/root/repo/src/ir/Loop.cpp" "src/ir/CMakeFiles/parsynt_ir.dir/Loop.cpp.o" "gcc" "src/ir/CMakeFiles/parsynt_ir.dir/Loop.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/parsynt_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

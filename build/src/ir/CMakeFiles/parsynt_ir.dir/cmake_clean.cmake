@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/parsynt_ir.dir/Expr.cpp.o"
+  "CMakeFiles/parsynt_ir.dir/Expr.cpp.o.d"
+  "CMakeFiles/parsynt_ir.dir/ExprOps.cpp.o"
+  "CMakeFiles/parsynt_ir.dir/ExprOps.cpp.o.d"
+  "CMakeFiles/parsynt_ir.dir/Loop.cpp.o"
+  "CMakeFiles/parsynt_ir.dir/Loop.cpp.o.d"
+  "libparsynt_ir.a"
+  "libparsynt_ir.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/parsynt_ir.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/lift/Lift.cpp" "src/lift/CMakeFiles/parsynt_lift.dir/Lift.cpp.o" "gcc" "src/lift/CMakeFiles/parsynt_lift.dir/Lift.cpp.o.d"
+  "/root/repo/src/lift/NormalForms.cpp" "src/lift/CMakeFiles/parsynt_lift.dir/NormalForms.cpp.o" "gcc" "src/lift/CMakeFiles/parsynt_lift.dir/NormalForms.cpp.o.d"
+  "/root/repo/src/lift/Unfold.cpp" "src/lift/CMakeFiles/parsynt_lift.dir/Unfold.cpp.o" "gcc" "src/lift/CMakeFiles/parsynt_lift.dir/Unfold.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/normalize/CMakeFiles/parsynt_normalize.dir/DependInfo.cmake"
+  "/root/repo/build/src/interp/CMakeFiles/parsynt_interp.dir/DependInfo.cmake"
+  "/root/repo/build/src/frontend/CMakeFiles/parsynt_frontend.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/parsynt_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/parsynt_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

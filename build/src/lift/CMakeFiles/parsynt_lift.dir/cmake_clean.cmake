@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/parsynt_lift.dir/Lift.cpp.o"
+  "CMakeFiles/parsynt_lift.dir/Lift.cpp.o.d"
+  "CMakeFiles/parsynt_lift.dir/NormalForms.cpp.o"
+  "CMakeFiles/parsynt_lift.dir/NormalForms.cpp.o.d"
+  "CMakeFiles/parsynt_lift.dir/Unfold.cpp.o"
+  "CMakeFiles/parsynt_lift.dir/Unfold.cpp.o.d"
+  "libparsynt_lift.a"
+  "libparsynt_lift.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/parsynt_lift.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/parsynt_normalize.dir/Normalizer.cpp.o"
+  "CMakeFiles/parsynt_normalize.dir/Normalizer.cpp.o.d"
+  "CMakeFiles/parsynt_normalize.dir/Rules.cpp.o"
+  "CMakeFiles/parsynt_normalize.dir/Rules.cpp.o.d"
+  "CMakeFiles/parsynt_normalize.dir/Simplify.cpp.o"
+  "CMakeFiles/parsynt_normalize.dir/Simplify.cpp.o.d"
+  "libparsynt_normalize.a"
+  "libparsynt_normalize.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/parsynt_normalize.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for parsynt_normalize.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/parsynt_pipeline.dir/Parallelizer.cpp.o"
+  "CMakeFiles/parsynt_pipeline.dir/Parallelizer.cpp.o.d"
+  "libparsynt_pipeline.a"
+  "libparsynt_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/parsynt_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/parsynt_proof.dir/DafnyEmit.cpp.o"
+  "CMakeFiles/parsynt_proof.dir/DafnyEmit.cpp.o.d"
+  "CMakeFiles/parsynt_proof.dir/ProofCheck.cpp.o"
+  "CMakeFiles/parsynt_proof.dir/ProofCheck.cpp.o.d"
+  "libparsynt_proof.a"
+  "libparsynt_proof.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/parsynt_proof.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

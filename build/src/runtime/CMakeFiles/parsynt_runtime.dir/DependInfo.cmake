@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/runtime/InterpReduce.cpp" "src/runtime/CMakeFiles/parsynt_runtime.dir/InterpReduce.cpp.o" "gcc" "src/runtime/CMakeFiles/parsynt_runtime.dir/InterpReduce.cpp.o.d"
+  "/root/repo/src/runtime/TaskPool.cpp" "src/runtime/CMakeFiles/parsynt_runtime.dir/TaskPool.cpp.o" "gcc" "src/runtime/CMakeFiles/parsynt_runtime.dir/TaskPool.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/interp/CMakeFiles/parsynt_interp.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/parsynt_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/parsynt_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/parsynt_runtime.dir/InterpReduce.cpp.o"
+  "CMakeFiles/parsynt_runtime.dir/InterpReduce.cpp.o.d"
+  "CMakeFiles/parsynt_runtime.dir/TaskPool.cpp.o"
+  "CMakeFiles/parsynt_runtime.dir/TaskPool.cpp.o.d"
+  "libparsynt_runtime.a"
+  "libparsynt_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/parsynt_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

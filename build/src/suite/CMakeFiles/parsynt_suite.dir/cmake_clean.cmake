@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/parsynt_suite.dir/Benchmarks.cpp.o"
+  "CMakeFiles/parsynt_suite.dir/Benchmarks.cpp.o.d"
+  "CMakeFiles/parsynt_suite.dir/Kernels.cpp.o"
+  "CMakeFiles/parsynt_suite.dir/Kernels.cpp.o.d"
+  "libparsynt_suite.a"
+  "libparsynt_suite.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/parsynt_suite.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

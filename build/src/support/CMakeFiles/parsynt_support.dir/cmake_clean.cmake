@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/parsynt_support.dir/Diagnostics.cpp.o"
+  "CMakeFiles/parsynt_support.dir/Diagnostics.cpp.o.d"
+  "CMakeFiles/parsynt_support.dir/Random.cpp.o"
+  "CMakeFiles/parsynt_support.dir/Random.cpp.o.d"
+  "libparsynt_support.a"
+  "libparsynt_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/parsynt_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

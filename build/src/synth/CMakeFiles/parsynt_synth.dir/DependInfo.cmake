@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/synth/Enumerator.cpp" "src/synth/CMakeFiles/parsynt_synth.dir/Enumerator.cpp.o" "gcc" "src/synth/CMakeFiles/parsynt_synth.dir/Enumerator.cpp.o.d"
+  "/root/repo/src/synth/HomOracle.cpp" "src/synth/CMakeFiles/parsynt_synth.dir/HomOracle.cpp.o" "gcc" "src/synth/CMakeFiles/parsynt_synth.dir/HomOracle.cpp.o.d"
+  "/root/repo/src/synth/JoinSynth.cpp" "src/synth/CMakeFiles/parsynt_synth.dir/JoinSynth.cpp.o" "gcc" "src/synth/CMakeFiles/parsynt_synth.dir/JoinSynth.cpp.o.d"
+  "/root/repo/src/synth/Sketch.cpp" "src/synth/CMakeFiles/parsynt_synth.dir/Sketch.cpp.o" "gcc" "src/synth/CMakeFiles/parsynt_synth.dir/Sketch.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/interp/CMakeFiles/parsynt_interp.dir/DependInfo.cmake"
+  "/root/repo/build/src/normalize/CMakeFiles/parsynt_normalize.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/parsynt_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/parsynt_ir.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/parsynt_synth.dir/Enumerator.cpp.o"
+  "CMakeFiles/parsynt_synth.dir/Enumerator.cpp.o.d"
+  "CMakeFiles/parsynt_synth.dir/HomOracle.cpp.o"
+  "CMakeFiles/parsynt_synth.dir/HomOracle.cpp.o.d"
+  "CMakeFiles/parsynt_synth.dir/JoinSynth.cpp.o"
+  "CMakeFiles/parsynt_synth.dir/JoinSynth.cpp.o.d"
+  "CMakeFiles/parsynt_synth.dir/Sketch.cpp.o"
+  "CMakeFiles/parsynt_synth.dir/Sketch.cpp.o.d"
+  "libparsynt_synth.a"
+  "libparsynt_synth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/parsynt_synth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/codegen_test.cpp" "tests/CMakeFiles/codegen_test.dir/codegen_test.cpp.o" "gcc" "tests/CMakeFiles/codegen_test.dir/codegen_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/codegen/CMakeFiles/parsynt_codegen.dir/DependInfo.cmake"
+  "/root/repo/build/src/pipeline/CMakeFiles/parsynt_pipeline.dir/DependInfo.cmake"
+  "/root/repo/build/src/proof/CMakeFiles/parsynt_proof.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/parsynt_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/suite/CMakeFiles/parsynt_suite.dir/DependInfo.cmake"
+  "/root/repo/build/src/lift/CMakeFiles/parsynt_lift.dir/DependInfo.cmake"
+  "/root/repo/build/src/synth/CMakeFiles/parsynt_synth.dir/DependInfo.cmake"
+  "/root/repo/build/src/frontend/CMakeFiles/parsynt_frontend.dir/DependInfo.cmake"
+  "/root/repo/build/src/normalize/CMakeFiles/parsynt_normalize.dir/DependInfo.cmake"
+  "/root/repo/build/src/interp/CMakeFiles/parsynt_interp.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/parsynt_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/parsynt_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

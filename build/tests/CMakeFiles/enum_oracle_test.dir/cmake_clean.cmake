@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/enum_oracle_test.dir/enum_oracle_test.cpp.o"
+  "CMakeFiles/enum_oracle_test.dir/enum_oracle_test.cpp.o.d"
+  "enum_oracle_test"
+  "enum_oracle_test.pdb"
+  "enum_oracle_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/enum_oracle_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lift_test.dir/lift_test.cpp.o"
+  "CMakeFiles/lift_test.dir/lift_test.cpp.o.d"
+  "lift_test"
+  "lift_test.pdb"
+  "lift_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lift_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/parsynt.dir/parsynt/main.cpp.o"
+  "CMakeFiles/parsynt.dir/parsynt/main.cpp.o.d"
+  "parsynt"
+  "parsynt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/parsynt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
