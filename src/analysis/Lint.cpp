@@ -1,0 +1,264 @@
+//===- analysis/Lint.cpp - Fragment-conformance linting -------------------===//
+//
+// Part of Parsynt-CXX, a reproduction of "Synthesis of Divide and Conquer
+// Parallelism for Loops" (PLDI 2017).
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/Lint.h"
+
+#include <functional>
+#include <set>
+#include <string>
+
+using namespace parsynt;
+using namespace parsynt::surface;
+
+namespace {
+
+class Linter {
+public:
+  Linter(const SProgram &Program, DiagnosticEngine &Diags)
+      : Program(Program), Diags(Diags) {}
+
+  LintSummary run();
+
+private:
+  void error(const std::string &Message, unsigned Line, unsigned Column) {
+    Diags.error(Message, Line, Column);
+    ++Summary.Errors;
+  }
+  void warning(const std::string &Message, unsigned Line, unsigned Column) {
+    Diags.warning(Message, Line, Column);
+    ++Summary.Warnings;
+  }
+
+  /// Applies \p Fn to every expression node under \p E (pre-order).
+  static void forEachExpr(const SExprPtr &E,
+                          const std::function<void(const SExpr &)> &Fn) {
+    if (!E)
+      return;
+    Fn(*E);
+    for (const SExprPtr &Arg : E->Args)
+      forEachExpr(Arg, Fn);
+  }
+
+  /// Applies \p Fn to every statement under \p Stmts (pre-order).
+  static void forEachStmt(const std::vector<SStmt> &Stmts,
+                          const std::function<void(const SStmt &)> &Fn) {
+    for (const SStmt &S : Stmts) {
+      Fn(S);
+      forEachStmt(S.Then, Fn);
+      forEachStmt(S.Else, Fn);
+    }
+  }
+
+  /// Every expression of a statement tree: assignment values, target
+  /// indices, and if conditions.
+  static void forEachStmtExpr(const std::vector<SStmt> &Stmts,
+                              const std::function<void(const SExpr &)> &Fn) {
+    forEachStmt(Stmts, [&](const SStmt &S) {
+      forEachExpr(S.Value, Fn);
+      forEachExpr(S.TargetIndex, Fn);
+      forEachExpr(S.Cond, Fn);
+    });
+  }
+
+  void checkSequenceDiscipline();
+  void checkIndexDiscipline();
+  void checkAssignmentTargets();
+  void checkInitialization();
+
+  const SProgram &Program;
+  DiagnosticEngine &Diags;
+  LintSummary Summary;
+
+  std::set<std::string> SeqNames;      // subscripted names + the bound
+  std::set<std::string> BodyAssigned;  // scalar state variables
+  std::set<std::string> DeclaredParams;
+};
+
+/// Sequence accesses: read-only, subscripted by exactly the loop index.
+void Linter::checkSequenceDiscipline() {
+  auto CheckAccess = [&](const SExpr &E) {
+    if (E.Kind != SExprKind::Subscript)
+      return;
+    const SExpr &Index = *E.Args[0];
+    if (Index.Kind == SExprKind::Name && Index.Name == Program.IndexName)
+      return;
+    error("sequence '" + E.Name + "' is subscripted by '" +
+              (Index.Kind == SExprKind::Name ? Index.Name : "<expression>") +
+              "'; the single-pass fragment admits only the plain loop index "
+              "'" +
+              Program.IndexName + "'",
+          E.Line, E.Column);
+  };
+  forEachStmtExpr(Program.Body, CheckAccess);
+
+  forEachStmt(Program.Body, [&](const SStmt &S) {
+    if (S.Kind == SStmtKind::Assign && S.TargetIndex)
+      error("sequence '" + S.Target +
+                "' is written; the fragment admits only scalar state "
+                "(sequences are read-only)",
+            S.Line, S.Column);
+  });
+  forEachStmt(Program.Inits, [&](const SStmt &S) {
+    if (S.Kind == SStmtKind::Assign && S.TargetIndex)
+      error("sequence '" + S.Target + "' is written before the loop",
+            S.Line, S.Column);
+  });
+
+  // Initializers run before any element exists.
+  forEachStmtExpr(Program.Inits, [&](const SExpr &E) {
+    if (E.Kind == SExprKind::Subscript)
+      error("sequence '" + E.Name +
+                "' is read before the loop; initializers may only use "
+                "constants and parameters",
+            E.Line, E.Column);
+  });
+
+  // A name cannot be both a sequence and a scalar.
+  for (const std::string &Seq : SeqNames) {
+    if (BodyAssigned.count(Seq))
+      error("'" + Seq + "' is used both as a sequence and as a state "
+                        "variable",
+            0, 0);
+    if (DeclaredParams.count(Seq))
+      error("'" + Seq + "' is used both as a sequence and as a parameter", 0,
+            0);
+  }
+}
+
+/// The loop index: never assigned, never read before the loop; body reads
+/// outside subscripts make the loop position-dependent (warning).
+void Linter::checkIndexDiscipline() {
+  forEachStmt(Program.Body, [&](const SStmt &S) {
+    if (S.Kind == SStmtKind::Assign && !S.TargetIndex &&
+        S.Target == Program.IndexName)
+      error("the loop index '" + Program.IndexName +
+                "' may not be assigned in the body",
+          S.Line, S.Column);
+  });
+  forEachStmt(Program.Inits, [&](const SStmt &S) {
+    if (S.Kind == SStmtKind::Assign && !S.TargetIndex &&
+        S.Target == Program.IndexName)
+      error("the loop index '" + Program.IndexName +
+                "' may not be assigned before the loop",
+            S.Line, S.Column);
+  });
+  forEachStmtExpr(Program.Inits, [&](const SExpr &E) {
+    if (E.Kind == SExprKind::Name && E.Name == Program.IndexName)
+      error("the loop index '" + Program.IndexName +
+                "' is read before the loop",
+            E.Line, E.Column);
+  });
+
+  // Position/bound dependence: a read of the index outside a subscript
+  // (s[i] itself is position-neutral, the unfolder consumes it as "the
+  // current element").
+  std::function<bool(const SExprPtr &)> ReadsIndexOutsideSubscript =
+      [&](const SExprPtr &E) -> bool {
+    if (!E)
+      return false;
+    if (E->Kind == SExprKind::Name && E->Name == Program.IndexName)
+      return true;
+    if (E->Kind == SExprKind::Subscript)
+      return false; // s[i] does not make the loop position-dependent
+    for (const SExprPtr &Arg : E->Args)
+      if (ReadsIndexOutsideSubscript(Arg))
+        return true;
+    return false;
+  };
+  forEachStmt(Program.Body, [&](const SStmt &S) {
+    if (S.Kind == SStmtKind::Assign && S.Target != Program.IndexName &&
+        ReadsIndexOutsideSubscript(S.Value))
+      warning("accumulator '" + S.Target +
+                  "' depends on the loop position/bound; the index will be "
+                  "materialized as an auxiliary accumulator and the loop is "
+                  "not parallelizable in its original form",
+              S.Line, S.Column);
+    if (S.Kind == SStmtKind::If && ReadsIndexOutsideSubscript(S.Cond))
+      warning("branch condition depends on the loop position/bound; the "
+              "index will be materialized as an auxiliary accumulator",
+              S.Line, S.Column);
+  });
+}
+
+/// Assignment targets: parameters are read-only.
+void Linter::checkAssignmentTargets() {
+  auto Check = [&](const SStmt &S) {
+    if (S.Kind == SStmtKind::Assign && !S.TargetIndex &&
+        DeclaredParams.count(S.Target))
+      error("parameter '" + S.Target + "' is read-only and may not be "
+                                       "assigned",
+            S.Line, S.Column);
+  };
+  forEachStmt(Program.Inits, Check);
+  forEachStmt(Program.Body, Check);
+}
+
+/// State variables: initialized before the loop, never read before their
+/// initialization.
+void Linter::checkInitialization() {
+  std::set<std::string> Initialized;
+  for (const SStmt &S : Program.Inits) {
+    if (S.Kind != SStmtKind::Assign || S.TargetIndex)
+      continue;
+    forEachExpr(S.Value, [&](const SExpr &E) {
+      if (E.Kind != SExprKind::Name || !BodyAssigned.count(E.Name))
+        return;
+      if (!Initialized.count(E.Name))
+        error("state variable '" + E.Name +
+                  "' is read before its initialization",
+              E.Line, E.Column);
+    });
+    Initialized.insert(S.Target);
+  }
+
+  // Every body-assigned scalar needs an initializer; report at the first
+  // assignment so the diagnostic lands on the offending variable.
+  std::set<std::string> Reported;
+  forEachStmt(Program.Body, [&](const SStmt &S) {
+    if (S.Kind != SStmtKind::Assign || S.TargetIndex)
+      return;
+    if (S.Target == Program.IndexName || DeclaredParams.count(S.Target))
+      return; // diagnosed by the index/parameter checks
+    if (!Initialized.count(S.Target) && Reported.insert(S.Target).second)
+      error("state variable '" + S.Target +
+                "' is not initialized before the loop",
+            S.Line, S.Column);
+  });
+}
+
+LintSummary Linter::run() {
+  SeqNames.insert(Program.BoundSeqName);
+  auto CollectSeq = [&](const SExpr &E) {
+    if (E.Kind == SExprKind::Subscript)
+      SeqNames.insert(E.Name);
+  };
+  forEachStmtExpr(Program.Inits, CollectSeq);
+  forEachStmtExpr(Program.Body, CollectSeq);
+  forEachStmt(Program.Body, [&](const SStmt &S) {
+    if (S.Kind == SStmtKind::Assign) {
+      if (S.TargetIndex)
+        SeqNames.insert(S.Target);
+      else
+        BodyAssigned.insert(S.Target);
+    }
+  });
+  DeclaredParams.insert(Program.Params.begin(), Program.Params.end());
+
+  checkSequenceDiscipline();
+  checkIndexDiscipline();
+  checkAssignmentTargets();
+  checkInitialization();
+  return Summary;
+}
+
+} // namespace
+
+LintSummary parsynt::lintProgram(const SProgram &Program,
+                                 DiagnosticEngine &Diags) {
+  Linter L(Program, Diags);
+  return L.run();
+}

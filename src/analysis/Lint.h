@@ -1,0 +1,59 @@
+//===- analysis/Lint.h - Fragment-conformance linting -----------*- C++ -*-===//
+//
+// Part of Parsynt-CXX, a reproduction of "Synthesis of Divide and Conquer
+// Parallelism for Loops" (PLDI 2017).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Source-level conformance checks for the Figure-3 loop fragment, run on
+/// the surface AST between parsing and conversion. Inputs that fall outside
+/// the fragment used to surface as generic parse errors, conversion
+/// assertions, or — worst — silent misbehavior (the unfolder treats any
+/// subscript as "the current element"); the linter turns each of them into a
+/// precise, source-located diagnostic.
+///
+/// Errors (the program is outside the fragment):
+///  - a sequence element is written (`s[i] = ...`);
+///  - a sequence is subscripted by anything but the plain loop index
+///    (single-pass access; `s[i+1]` would silently read `s[i]` downstream);
+///  - the loop index is assigned in the body, or read before the loop;
+///  - a `param`-declared name is assigned (parameters are read-only);
+///  - a name is used both as a sequence and a scalar;
+///  - a state variable is read before its initialization, or never
+///    initialized at all;
+///  - a sequence is read before the loop (initializers run once, before
+///    any element exists).
+///
+/// Warnings (inside the fragment, but synthesis-relevant):
+///  - an accumulator depends on the loop position/bound (the body reads the
+///    index outside a subscript): the index must be materialized as an
+///    auxiliary accumulator and the loop cannot be parallelized in its
+///    original form.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PARSYNT_ANALYSIS_LINT_H
+#define PARSYNT_ANALYSIS_LINT_H
+
+#include "frontend/Parser.h"
+#include "support/Diagnostics.h"
+
+namespace parsynt {
+
+/// Tally of the diagnostics a lint run produced.
+struct LintSummary {
+  unsigned Errors = 0;
+  unsigned Warnings = 0;
+
+  bool ok() const { return Errors == 0; }
+};
+
+/// Lints \p Program, appending diagnostics to \p Diags. Conversion should
+/// only proceed when the summary has no errors.
+LintSummary lintProgram(const surface::SProgram &Program,
+                        DiagnosticEngine &Diags);
+
+} // namespace parsynt
+
+#endif // PARSYNT_ANALYSIS_LINT_H

@@ -1,0 +1,87 @@
+//===- analysis/Verifier.h - IR structural invariant checks -----*- C++ -*-===//
+//
+// Part of Parsynt-CXX, a reproduction of "Synthesis of Divide and Conquer
+// Parallelism for Loops" (PLDI 2017).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Machine-checked invariants of the Loop/Equation/Expr IR, run between the
+/// pipeline phases (frontend conversion, normalization, lifting, codegen).
+/// Each phase of the pipeline promises a contract to the next one; the
+/// verifier makes those contracts explicit and catches violations at the
+/// phase boundary instead of as silent wrong answers downstream.
+///
+/// Checked invariants:
+///  - every node is well typed: operand types match the operator signature,
+///    conditional arms agree, sequence indices are integers, and the cached
+///    node type equals the recomputed one;
+///  - no dangling references: every variable read resolves to a state
+///    variable, a declared parameter, or the loop index, and every sequence
+///    access names a declared sequence;
+///  - initializations are state- and sequence-free (they run before the
+///    first iteration);
+///  - single-pass read-only sequence access: each access subscripts a
+///    declared sequence with exactly the loop index (the Section-3 fragment
+///    admits no other access pattern, and the unfolder silently treats any
+///    index as "the current element");
+///  - unknown-marked variables (the symbolic split-point state of
+///    Algorithm 1) never escape the lift phase into a Loop or a join.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PARSYNT_ANALYSIS_VERIFIER_H
+#define PARSYNT_ANALYSIS_VERIFIER_H
+
+#include "ir/Loop.h"
+
+#include <string>
+#include <vector>
+
+namespace parsynt {
+
+/// Pipeline phase after which a verification runs; reported with each
+/// violation so a failure names the phase that broke the contract.
+enum class VerifyPhase {
+  AfterFrontend,  ///< conversion produced the initial equation system
+  AfterNormalize, ///< a normal form produced by the rewrite engine
+  AfterLift,      ///< the lifted loop with discovered auxiliaries
+  BeforeCodegen,  ///< the final loop + join handed to emitters/runtime
+};
+
+/// Human-readable phase name ("after-frontend", ...).
+const char *verifyPhaseName(VerifyPhase Phase);
+
+/// Outcome of a verification: a (possibly empty) list of violations.
+struct VerifierReport {
+  VerifyPhase Phase = VerifyPhase::AfterFrontend;
+  std::vector<std::string> Violations;
+
+  bool ok() const { return Violations.empty(); }
+  /// Renders "IR verifier (<phase>): <n> violation(s)" plus one line each.
+  std::string str() const;
+};
+
+/// Verifies the structural invariants of \p L (see file comment). All
+/// invariants are checked in every phase; the phase is recorded for
+/// reporting and selects the unknown-variable rule (unknowns are illegal in
+/// a Loop at every phase — they may only appear in free expressions during
+/// lifting, see verifyExpr).
+VerifierReport verifyLoop(const Loop &L, VerifyPhase Phase);
+
+/// Verifies a free expression produced mid-phase (e.g. a normalized
+/// unfolding): type consistency of every node plus, unless \p AllowUnknowns,
+/// absence of VarClass::Unknown references. Name resolution is not checked
+/// (the expression's frame is phase-specific).
+VerifierReport verifyExpr(const ExprRef &E, VerifyPhase Phase,
+                          bool AllowUnknowns);
+
+/// Verifies a synthesized join for \p L: one well-typed component per
+/// equation whose type matches the equation, reading only the split values
+/// "<var>_l"/"<var>_r" of \p L's state variables, the loop parameters, and
+/// constants — never sequences, the index, or unknowns.
+VerifierReport verifyJoin(const Loop &L, const std::vector<ExprRef> &Components);
+
+} // namespace parsynt
+
+#endif // PARSYNT_ANALYSIS_VERIFIER_H

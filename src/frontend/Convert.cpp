@@ -6,6 +6,8 @@
 //===----------------------------------------------------------------------===//
 
 #include "frontend/Convert.h"
+#include "analysis/Lint.h"
+#include "analysis/Verifier.h"
 #include "ir/ExprOps.h"
 
 #include <map>
@@ -64,6 +66,12 @@ private:
 void Converter::collectAssigned(const std::vector<SStmt> &Stmts) {
   for (const SStmt &S : Stmts) {
     if (S.Kind == SStmtKind::Assign) {
+      if (S.TargetIndex) {
+        // Backstop for callers that skip the linter; lintProgram reports
+        // sequence writes with a richer message before conversion runs.
+        error("sequence '" + S.Target + "' is written", S.Line, S.Column);
+        continue;
+      }
       if (StateSet.insert(S.Target).second)
         StateNames.push_back(S.Target);
       continue;
@@ -271,6 +279,8 @@ bool Converter::convertStmts(const std::vector<SStmt> &Stmts,
                              std::map<std::string, ExprRef> &Cur) {
   for (const SStmt &S : Stmts) {
     if (S.Kind == SStmtKind::Assign) {
+      if (S.TargetIndex)
+        return false; // sequence write, diagnosed in collectAssigned
       auto ValueTy = inferType(*S.Value);
       if (!ValueTy)
         return false;
@@ -328,6 +338,11 @@ std::optional<Loop> Converter::run() {
   std::map<std::string, ExprRef> InitValues;
   for (const SStmt &S : Program.Inits) {
     assert(S.Kind == SStmtKind::Assign && "checked by the parser");
+    if (S.TargetIndex) {
+      error("sequence '" + S.Target + "' is written before the loop", S.Line,
+            S.Column);
+      return std::nullopt;
+    }
     auto ValueTy = inferType(*S.Value);
     if (!ValueTy)
       return std::nullopt;
@@ -379,6 +394,14 @@ std::optional<Loop> Converter::run() {
     Diags.error("conversion produced an invalid loop: " + *Problem);
     return std::nullopt;
   }
+  // Phase contract: the converter hands the pipeline a fully well-formed
+  // equation system. The IR verifier re-derives that claim node by node.
+  VerifierReport Verified = verifyLoop(Result, VerifyPhase::AfterFrontend);
+  if (!Verified.ok()) {
+    for (const std::string &V : Verified.Violations)
+      Diags.error("conversion produced an invalid loop: " + V);
+    return std::nullopt;
+  }
   return Result;
 }
 
@@ -396,6 +419,11 @@ std::optional<Loop> parsynt::parseLoop(const std::string &Source,
                                        DiagnosticEngine &Diags) {
   auto Program = parseProgram(Source, Diags);
   if (!Program)
+    return std::nullopt;
+  // Fragment conformance first: the linter rejects out-of-fragment inputs
+  // (sequence writes, non-affine subscripts, ...) with source locations the
+  // converter cannot reconstruct. Warnings are kept but do not abort.
+  if (!lintProgram(*Program, Diags).ok())
     return std::nullopt;
   return convertProgram(*Program, Name, Diags);
 }

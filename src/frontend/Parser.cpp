@@ -294,6 +294,15 @@ bool Parser::parseStmt(std::vector<SStmt> &Out) {
     Stmt.Line = peek().Line;
     Stmt.Column = peek().Column;
     Stmt.Target = advance().Text;
+    if (match(TokKind::LBracket)) {
+      // Sequence-element assignment: parsed so the linter can reject it
+      // with a source-located diagnostic (the fragment is read-only over
+      // its sequences).
+      Stmt.TargetIndex = parseExpr();
+      if (!Stmt.TargetIndex ||
+          !expect(TokKind::RBracket, "after assignment target index"))
+        return false;
+    }
     if (!expect(TokKind::Assign, "in assignment"))
       return false;
     Stmt.Value = parseExpr();

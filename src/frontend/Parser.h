@@ -67,6 +67,10 @@ struct SStmt {
   SStmtKind Kind;
   // Assign:
   std::string Target;
+  /// Non-null for a sequence-element assignment `target[index] = value`.
+  /// The fragment forbids sequence writes; the parser still represents them
+  /// so the linter can reject them with a precise diagnostic.
+  SExprPtr TargetIndex;
   SExprPtr Value;
   // If:
   SExprPtr Cond;

@@ -6,6 +6,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "lift/Lift.h"
+#include "analysis/Verifier.h"
 #include "frontend/Convert.h"
 #include "interp/Interp.h"
 #include "ir/ExprOps.h"
@@ -516,6 +517,18 @@ LiftResult Lifter::run() {
         Ell = booleanNormalize(Tau, Unknowns);
       if (!Ell)
         Ell = normalizeExpr(Tau, Unknowns, Options.Normalize);
+      if (Options.VerifyIR) {
+        VerifierReport Report = verifyExpr(Ell, VerifyPhase::AfterNormalize,
+                                           /*AllowUnknowns=*/true);
+        if (!Report.ok()) {
+          // A rewriter bug, not a property of the input: skip the corrupt
+          // normal form rather than collecting parts from it.
+          Result.Notes.push_back("verifier rejected normal form of " +
+                                 Eq.Name + " step " + std::to_string(Step) +
+                                 ": " + Report.str());
+          continue;
+        }
+      }
       collectParts(Ell, Parts[Step]);
     }
     PartsByEq.emplace(Eq.Name, std::move(Parts));

@@ -6,6 +6,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "pipeline/Parallelizer.h"
+#include "analysis/Verifier.h"
 #include "ir/ExprOps.h"
 #include "lift/Unfold.h"
 #include "proof/ProofCheck.h"
@@ -58,6 +59,60 @@ bool joinProven(const Loop &L, const JoinResult &Join) {
   return checkHomomorphismProof(L, Join.Components).Verified;
 }
 
+/// Verifies \p L at pipeline phase \p Phase. On violation records the
+/// report in \p Result.Failure and returns false so the caller can fail
+/// gracefully instead of running downstream passes on corrupt IR.
+bool verifyAt(const Loop &L, VerifyPhase Phase, const PipelineOptions &Options,
+              PipelineResult &Result) {
+  if (!Options.VerifyIR)
+    return true;
+  VerifierReport Report = verifyLoop(L, Phase);
+  if (Report.ok())
+    return true;
+  Result.Failure = Report.str();
+  return false;
+}
+
+/// Builds the synthesis guidance for \p L from its dependence analysis:
+/// SCC topological order, trivial-join seeds, and per-variable allowed
+/// sets (dependence closure plus all auxiliaries — lifted joins routinely
+/// reference auxiliaries the original update never reads, e.g. mts's join
+/// needs the lifted sum).
+JoinGuidance makeGuidance(const Loop &L, const DependenceInfo &Info) {
+  JoinGuidance Guidance;
+  Guidance.Order = Info.synthesisOrder(L);
+  std::set<std::string> Shared;
+  for (const Equation &Eq : L.Equations)
+    if (Eq.IsAuxiliary || Eq.Name == "_pos")
+      Shared.insert(Eq.Name);
+  for (const Equation &Eq : L.Equations) {
+    const VarDependence *V = Info.find(Eq.Name);
+    if (!V)
+      continue;
+    if (V->TrivialJoin)
+      Guidance.Seeds[Eq.Name] = V->TrivialJoin;
+    std::set<std::string> Allowed = V->Closure;
+    Allowed.insert(Eq.Name);
+    Allowed.insert(Shared.begin(), Shared.end());
+    Guidance.AllowedVars[Eq.Name] = std::move(Allowed);
+  }
+  return Guidance;
+}
+
+/// Runs join synthesis on \p W with dependence guidance (when enabled) and
+/// folds the timing / seed statistics into \p Result.
+JoinResult runJoinSynthesis(const Loop &W, JoinSynthOptions JoinOpts,
+                            const PipelineOptions &Options,
+                            PipelineResult &Result) {
+  if (Options.UseDependenceAnalysis)
+    JoinOpts.Guidance = makeGuidance(W, analyzeDependences(W));
+  JoinResult Join = synthesizeJoin(W, JoinOpts);
+  Result.JoinSeconds += Join.Stats.Seconds;
+  Result.SeedsAccepted += Join.Stats.SeedsAccepted;
+  Result.RestrictionRetries += Join.Stats.RestrictionRetries;
+  return Join;
+}
+
 } // namespace
 
 PipelineResult parsynt::parallelizeLoop(const Loop &L,
@@ -65,19 +120,31 @@ PipelineResult parsynt::parallelizeLoop(const Loop &L,
   auto StartTime = std::chrono::steady_clock::now();
   PipelineResult Result;
 
+  // The input must already be well-formed IR — catches corrupt
+  // programmatically-built loops before any synthesis work.
+  if (!verifyAt(L, VerifyPhase::AfterFrontend, Options, Result)) {
+    Result.TotalSeconds = secondsSince(StartTime);
+    return Result;
+  }
+
   // Index-reading loops always need the materialized position accumulator;
   // it is part of "the original form is not parallelizable" in our
   // offset-free model (see DESIGN.md).
   Loop Original = materializeIndex(L);
   Result.IndexMaterialized = Original.Equations.size() > L.Equations.size();
+  if (!verifyAt(Original, VerifyPhase::AfterNormalize, Options, Result)) {
+    Result.TotalSeconds = secondsSince(StartTime);
+    return Result;
+  }
+  if (Options.UseDependenceAnalysis)
+    Result.Dependences = analyzeDependences(Original);
 
   // Phase 1: join synthesis on the (index-materialized) original loop. The
   // empty-guard sketch extension stays off here so "parallelizable in
   // original form" means exactly the paper's C(E)+grammar space.
   JoinSynthOptions Phase1 = Options.Join;
   Phase1.AllowEmptyGuard = false;
-  Result.Join = synthesizeJoin(Original, Phase1);
-  Result.JoinSeconds += Result.Join.Stats.Seconds;
+  Result.Join = runJoinSynthesis(Original, Phase1, Options, Result);
   Loop Work = Original;
 
   if (!Result.Join.Success || !joinProven(Original, Result.Join)) {
@@ -99,10 +166,11 @@ PipelineResult parsynt::parallelizeLoop(const Loop &L,
       Result.Unresolved = Lift.Unresolved;
       Result.AuxDiscovered = Lift.auxCount();
       Work = Lift.Lifted;
+      if (!verifyAt(Work, VerifyPhase::AfterLift, Options, Result))
+        continue; // skip a corrupt lift attempt, try the next one
 
       while (true) {
-        Result.Join = synthesizeJoin(Work, Options.Join);
-        Result.JoinSeconds += Result.Join.Stats.Seconds;
+        Result.Join = runJoinSynthesis(Work, Options.Join, Options, Result);
         if (Result.Join.Success) {
           if (joinProven(Work, Result.Join)) {
             Solved = true;
@@ -150,8 +218,8 @@ PipelineResult parsynt::parallelizeLoop(const Loop &L,
       Loop Candidate = Work;
       if (!removeEquation(Candidate, *It))
         continue;
-      JoinResult Retry = synthesizeJoin(Candidate, Options.Join);
-      Result.JoinSeconds += Retry.Stats.Seconds;
+      JoinResult Retry = runJoinSynthesis(Candidate, Options.Join, Options,
+                                          Result);
       if (Retry.Success && joinProven(Candidate, Retry)) {
         Work = std::move(Candidate);
         Result.Join = std::move(Retry);
@@ -159,6 +227,25 @@ PipelineResult parsynt::parallelizeLoop(const Loop &L,
       }
     }
   }
+
+  // Final gate: the loop and its join must verify before we hand either to
+  // code generation or report success.
+  if (!verifyAt(Work, VerifyPhase::BeforeCodegen, Options, Result)) {
+    Result.Final = std::move(Work);
+    Result.TotalSeconds = secondsSince(StartTime);
+    return Result;
+  }
+  if (Options.VerifyIR) {
+    VerifierReport JoinReport = verifyJoin(Work, Result.Join.Components);
+    if (!JoinReport.ok()) {
+      Result.Failure = JoinReport.str();
+      Result.Final = std::move(Work);
+      Result.TotalSeconds = secondsSince(StartTime);
+      return Result;
+    }
+  }
+  if (Options.UseDependenceAnalysis)
+    Result.Dependences = analyzeDependences(Work);
 
   Result.Success = true;
   Result.Final = std::move(Work);
@@ -178,6 +265,17 @@ std::string PipelineResult::report() const {
      << (Final.Name.empty() ? "<loop>" : Final.Name) << "\n";
   OS << "  aux required: " << (AuxRequired ? "yes" : "no")
      << ", #aux: " << AuxCount << " (discovered " << AuxDiscovered << ")\n";
+  if (!Dependences.Vars.empty()) {
+    OS << "  dependence classes:";
+    for (DepClass C : {DepClass::Constant, DepClass::IndependentFold,
+                       DepClass::Conditional, DepClass::PrefixDependent})
+      if (unsigned N = Dependences.count(C))
+        OS << " " << depClassName(C) << "=" << N;
+    OS << "\n";
+  }
+  if (SeedsAccepted || RestrictionRetries)
+    OS << "  join searches skipped via trivial seeds: " << SeedsAccepted
+       << ", restricted-search retries: " << RestrictionRetries << "\n";
   if (!Failure.empty())
     OS << "  failure: " << Failure << "\n";
   for (const std::string &Dropped : DroppedAux)

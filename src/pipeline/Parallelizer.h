@@ -20,6 +20,7 @@
 #ifndef PARSYNT_PIPELINE_PARALLELIZER_H
 #define PARSYNT_PIPELINE_PARALLELIZER_H
 
+#include "analysis/DependenceGraph.h"
 #include "lift/Lift.h"
 #include "synth/JoinSynth.h"
 
@@ -34,6 +35,15 @@ struct PipelineOptions {
   bool TryLift = true;
   /// Run the remove-redundancies pass (re-synthesis without each aux).
   bool RemoveRedundant = true;
+  /// Run the IR verifier between phases (frontend / normalize / lift /
+  /// codegen boundaries). Violations fail the pipeline gracefully instead
+  /// of corrupting downstream passes.
+  bool VerifyIR = true;
+  /// Consult the state-variable dependence analysis: synthesize joins
+  /// SCC-by-SCC in dependence order, seed trivially-homomorphic folds, and
+  /// restrict each equation's search to its dependence closure (with an
+  /// unrestricted retry, so results never change — only time).
+  bool UseDependenceAnalysis = true;
   /// Lifting attempts, in order: (unfolding depth, init preference). The
   /// init-preference retries handle init-insensitive accumulators whose
   /// empty-chunk value must be a sentinel for the join to exist.
@@ -56,6 +66,14 @@ struct PipelineResult {
   bool IndexMaterialized = false;
   std::vector<std::string> DroppedAux; ///< unjoinable or redundant
   std::vector<std::string> Unresolved; ///< lift parts without accumulators
+  /// Dependence classification of the final loop's state variables (empty
+  /// when UseDependenceAnalysis is off).
+  DependenceInfo Dependences;
+  /// Join components accepted from dependence-analysis seeds, i.e. join
+  /// searches skipped, summed over every synthesis call in the pipeline.
+  unsigned SeedsAccepted = 0;
+  /// Dependence-restricted searches that had to be retried unrestricted.
+  unsigned RestrictionRetries = 0;
   double JoinSeconds = 0;  ///< total time in join synthesis
   double LiftSeconds = 0;  ///< total time in lifting
   double TotalSeconds = 0;

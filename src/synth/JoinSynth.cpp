@@ -13,6 +13,7 @@
 
 #include <chrono>
 #include <map>
+#include <memory>
 #include <set>
 #include <sstream>
 
@@ -190,9 +191,11 @@ JoinResult parsynt::synthesizeJoin(const Loop &L,
     for (const JoinExample &Example : Oracle.tests())
       CombEnvs.push_back(Oracle.combinedEnv(Example));
 
-    // Left-right and right-only candidate pools (shared by all equations).
-    // Initially sized for the sketch tiers; grown lazily to FreeMaxSize only
-    // if some equation needs the free-grammar fallback.
+    // Left-right and right-only candidate pools. Equations restricted by
+    // the dependence guidance draw from a pool over only their closure's
+    // split values; unrestricted equations share the full pool. Pools are
+    // initially sized for the sketch tiers and grown lazily to FreeMaxSize
+    // only if some equation needs the free-grammar fallback.
     unsigned MaxLR = 1;
     unsigned MaxR = 1;
     for (const auto &[SizeLR, SizeR] : Options.SketchTiers) {
@@ -201,98 +204,186 @@ JoinResult parsynt::synthesizeJoin(const Loop &L,
     }
     if (!Options.UseSketch)
       MaxLR = std::max(MaxLR, Options.FreeMaxSize);
-    EnumeratorOptions EnumOpts;
-    EnumOpts.MaxSize = MaxLR;
-    Enumerator ELR(CombEnvs, EnumOpts);
-    EnumeratorOptions EnumOptsR;
-    EnumOptsR.MaxSize = MaxR;
-    Enumerator ER(CombEnvs, EnumOptsR);
 
-    for (const Equation &Eq : L.Equations) {
-      ELR.addLeaf(inputVar(Eq.Name + "_l", Eq.Ty));
-      ELR.addLeaf(inputVar(Eq.Name + "_r", Eq.Ty));
-      ER.addLeaf(inputVar(Eq.Name + "_r", Eq.Ty));
-    }
-    for (const ParamDecl &P : L.Params) {
-      ELR.addLeaf(inputVar(P.Name, P.Ty));
-      ER.addLeaf(inputVar(P.Name, P.Ty));
-    }
-    for (int64_t C : Constants) {
-      ELR.addLeaf(intConst(C));
-      ER.addLeaf(intConst(C));
-    }
-    ELR.addLeaf(boolConst(true));
-    ELR.addLeaf(boolConst(false));
-    ER.addLeaf(boolConst(true));
-    ER.addLeaf(boolConst(false));
-    ELR.run();
-    ER.run();
-    Result.Stats.EnumeratedCandidates +=
-        ELR.totalCandidates() + ER.totalCandidates();
+    struct PoolGroup {
+      Enumerator ELR;
+      Enumerator ER;
+      PoolGroup(const std::vector<Env> &Envs, unsigned MaxLR, unsigned MaxR)
+          : ELR(Envs, [&] {
+              EnumeratorOptions O;
+              O.MaxSize = MaxLR;
+              return O;
+            }()),
+            ER(Envs, [&] {
+              EnumeratorOptions O;
+              O.MaxSize = MaxR;
+              return O;
+            }()) {}
+    };
+    // Allowed-set signature -> pool pair; "*" is the unrestricted group.
+    std::map<std::string, std::unique_ptr<PoolGroup>> Groups;
+    auto getGroup = [&](const std::set<std::string> *Allowed) -> PoolGroup & {
+      std::string Key = "*";
+      if (Allowed) {
+        Key.clear();
+        for (const std::string &Name : *Allowed)
+          Key += Name + ",";
+      }
+      auto It = Groups.find(Key);
+      if (It != Groups.end())
+        return *It->second;
+      auto G = std::make_unique<PoolGroup>(CombEnvs, MaxLR, MaxR);
+      for (const Equation &Eq : L.Equations) {
+        if (Allowed && !Allowed->count(Eq.Name))
+          continue;
+        G->ELR.addLeaf(inputVar(Eq.Name + "_l", Eq.Ty));
+        G->ELR.addLeaf(inputVar(Eq.Name + "_r", Eq.Ty));
+        G->ER.addLeaf(inputVar(Eq.Name + "_r", Eq.Ty));
+      }
+      for (const ParamDecl &P : L.Params) {
+        G->ELR.addLeaf(inputVar(P.Name, P.Ty));
+        G->ER.addLeaf(inputVar(P.Name, P.Ty));
+      }
+      for (int64_t C : Constants) {
+        G->ELR.addLeaf(intConst(C));
+        G->ER.addLeaf(intConst(C));
+      }
+      G->ELR.addLeaf(boolConst(true));
+      G->ELR.addLeaf(boolConst(false));
+      G->ER.addLeaf(boolConst(true));
+      G->ER.addLeaf(boolConst(false));
+      G->ELR.run();
+      G->ER.run();
+      Result.Stats.EnumeratedCandidates +=
+          G->ELR.totalCandidates() + G->ER.totalCandidates();
+      return *Groups.emplace(Key, std::move(G)).first->second;
+    };
 
-    // Solve each equation modularly.
+    // Solve each equation modularly, SCC-by-SCC in dependence order when
+    // guidance provides one.
     bool AllSolved = true;
-    for (size_t I = 0; I != L.Equations.size(); ++I) {
+    for (size_t Pos = 0; Pos != L.Equations.size(); ++Pos) {
+      size_t I = Pos < Options.Guidance.Order.size()
+                     ? Options.Guidance.Order[Pos]
+                     : Pos;
       const Equation &Eq = L.Equations[I];
       ExprRef Component;
       bool Fallback = false;
 
-      auto searchSketch = [&](const Sketch &S) -> ExprRef {
-        for (const auto &[SizeLR, SizeR] : Options.SketchTiers) {
-          std::vector<HolePool> Pools;
-          Pools.reserve(S.Holes.size());
-          for (const Hole &H : S.Holes)
-            Pools.push_back(H.RightOnly ? makePool(ER, H.Ty, SizeR)
-                                        : makePool(ELR, H.Ty, SizeLR));
-          SketchSearch Search(S, std::move(Pools), Oracle, I,
-                              Options.ProductBudget,
-                              Result.Stats.SketchAssignmentsTried);
-          if (ExprRef Found = Search.run(std::max(SizeLR, SizeR)))
-            return Found;
+      // Trivially-homomorphic variables: accept the dependence-analysis
+      // seed without searching if it matches every current test. (CEGIS
+      // still validates the assembled join on fresh inputs, so a wrong
+      // seed costs one round and then falls back to the search.)
+      auto SeedIt = Options.Guidance.Seeds.find(Eq.Name);
+      if (SeedIt != Options.Guidance.Seeds.end() && SeedIt->second) {
+        bool Matches = true;
+        const auto &Tests = Oracle.tests();
+        for (size_t T = 0; T != Tests.size() && Matches; ++T)
+          Matches = evalExpr(SeedIt->second, CombEnvs[T]) ==
+                    Tests[T].Expected[I];
+        if (Matches) {
+          Component = SeedIt->second;
+          ++Result.Stats.SeedsAccepted;
+          Result.Components[I] = Component;
+          Result.FromFallback[I] = false;
+          continue;
         }
-        return nullptr;
-      };
-
-      if (Options.UseSketch)
-        Component = searchSketch(compileSketch(Eq));
-
-      if (!Component && Options.UseSketch && Eq.Ty == Type::Int) {
-        // Additive-correction sketch: v_l + v_r + ite(??LR, ??R, ??R).
-        // Counters over concatenations are almost-additive with a boundary
-        // correction (count-1's block merge at the seam); this variant
-        // reaches those joins with a three-hole search.
-        Sketch Corr;
-        Corr.Holes.push_back({"?c0", Type::Bool, /*RightOnly=*/false});
-        Corr.Holes.push_back({"?c1", Type::Int, /*RightOnly=*/true});
-        Corr.Holes.push_back({"?c2", Type::Int, /*RightOnly=*/true});
-        Corr.Body = add(add(inputVar(Eq.Name + "_l", Type::Int),
-                            inputVar(Eq.Name + "_r", Type::Int)),
-                        ite(inputVar("?c0", Type::Bool),
-                            inputVar("?c1", Type::Int),
-                            inputVar("?c2", Type::Int)));
-        Component = searchSketch(Corr);
       }
 
-      if (!Component && Options.AllowFallback) {
-        // Free-grammar search: the expected output vector indexes straight
-        // into the enumerator's observational classes. Grow the pool to the
-        // fallback bound on first use.
-        if (ELR.options().MaxSize < Options.FreeMaxSize) {
-          ELR.options().MaxSize = Options.FreeMaxSize;
-          ELR.run();
-          Result.Stats.EnumeratedCandidates = ELR.totalCandidates();
+      // Only pre-search a restricted pool when the restriction genuinely
+      // shrinks the space (at most half the variables): a near-full
+      // "restriction" costs almost a full failed search before the
+      // unrestricted retry, which is pure waste on the hard equations.
+      const std::set<std::string> *Allowed = nullptr;
+      auto AllowIt = Options.Guidance.AllowedVars.find(Eq.Name);
+      if (AllowIt != Options.Guidance.AllowedVars.end() &&
+          AllowIt->second.size() * 2 <= L.Equations.size())
+        Allowed = &AllowIt->second;
+
+      auto solveWith = [&](PoolGroup &G, bool Restricted) -> ExprRef {
+        Fallback = false;
+        Enumerator &ELR = G.ELR;
+        Enumerator &ER = G.ER;
+        ExprRef Found;
+
+        auto searchSketch = [&](const Sketch &S) -> ExprRef {
+          for (const auto &[SizeLR, SizeR] : Options.SketchTiers) {
+            std::vector<HolePool> Pools;
+            Pools.reserve(S.Holes.size());
+            for (const Hole &H : S.Holes)
+              Pools.push_back(H.RightOnly ? makePool(ER, H.Ty, SizeR)
+                                          : makePool(ELR, H.Ty, SizeLR));
+            SketchSearch Search(S, std::move(Pools), Oracle, I,
+                                Options.ProductBudget,
+                                Result.Stats.SketchAssignmentsTried);
+            if (ExprRef F = Search.run(std::max(SizeLR, SizeR)))
+              return F;
+          }
+          return nullptr;
+        };
+
+        if (Options.UseSketch)
+          Found = searchSketch(compileSketch(Eq));
+
+        if (!Found && Options.UseSketch && Eq.Ty == Type::Int) {
+          // Additive-correction sketch: v_l + v_r + ite(??LR, ??R, ??R).
+          // Counters over concatenations are almost-additive with a
+          // boundary correction (count-1's block merge at the seam); this
+          // variant reaches those joins with a three-hole search.
+          Sketch Corr;
+          Corr.Holes.push_back({"?c0", Type::Bool, /*RightOnly=*/false});
+          Corr.Holes.push_back({"?c1", Type::Int, /*RightOnly=*/true});
+          Corr.Holes.push_back({"?c2", Type::Int, /*RightOnly=*/true});
+          Corr.Body = add(add(inputVar(Eq.Name + "_l", Type::Int),
+                              inputVar(Eq.Name + "_r", Type::Int)),
+                          ite(inputVar("?c0", Type::Bool),
+                              inputVar("?c1", Type::Int),
+                              inputVar("?c2", Type::Int)));
+          Found = searchSketch(Corr);
         }
-        std::vector<Value> Target;
-        Target.reserve(Oracle.tests().size());
-        for (const JoinExample &Example : Oracle.tests())
-          Target.push_back(Example.Expected[I]);
-        if (const Candidate *C = ELR.findMatching(Eq.Ty, Target)) {
-          Component = C->E;
-          Fallback = true;
+
+        // The free-grammar fallback only runs unrestricted: growing and
+        // sweeping a pool to FreeMaxSize is the expensive tail of a failed
+        // search, and paying it twice (restricted, then again on the
+        // unrestricted retry) would double the cost of exactly the hard
+        // cases. The dependence restriction pays off in the sketch phase,
+        // where smaller hole pools shrink the assignment product.
+        if (!Found && Options.AllowFallback && !Restricted) {
+          // Free-grammar search: the expected output vector indexes
+          // straight into the enumerator's observational classes. Grow the
+          // pool to the fallback bound on first use.
+          if (ELR.options().MaxSize < Options.FreeMaxSize) {
+            size_t Before = ELR.totalCandidates();
+            ELR.options().MaxSize = Options.FreeMaxSize;
+            ELR.run();
+            Result.Stats.EnumeratedCandidates +=
+                ELR.totalCandidates() - Before;
+          }
+          std::vector<Value> Target;
+          Target.reserve(Oracle.tests().size());
+          for (const JoinExample &Example : Oracle.tests())
+            Target.push_back(Example.Expected[I]);
+          if (const Candidate *C = ELR.findMatching(Eq.Ty, Target)) {
+            Found = C->E;
+            Fallback = true;
+          }
         }
+        return Found;
+      };
+
+      if (Allowed)
+        Component = solveWith(getGroup(Allowed), /*Restricted=*/true);
+      if (!Component) {
+        // The dependence restriction is a heuristic; never let it change
+        // what is synthesizable. Retry over the full variable set.
+        if (Allowed)
+          ++Result.Stats.RestrictionRetries;
+        Component = solveWith(getGroup(nullptr), /*Restricted=*/false);
       }
 
       if (!Component && Options.UseSketch && Options.AllowEmptyGuard) {
+        Enumerator &ELR = getGroup(nullptr).ELR;
+        Enumerator &ER = getGroup(nullptr).ER;
         // Last resort: C(E) wrapped in an "empty right chunk" guard —
         // ite(<right state at init>, v_l, C(E)) — the homomorphism base
         // case fE(x • []) = fE(x) made syntactic. Joins that must

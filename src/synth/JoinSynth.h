@@ -24,10 +24,31 @@
 
 #include "synth/HomOracle.h"
 
+#include <map>
+#include <set>
 #include <string>
 #include <vector>
 
 namespace parsynt {
+
+/// Dependence-derived guidance computed by the pipeline (see
+/// analysis/DependenceGraph.h). All fields are optional; an empty guidance
+/// reproduces the unguided search exactly.
+struct JoinGuidance {
+  /// Equation indices in synthesis order — SCC-by-SCC, dependencies first.
+  /// Empty: natural equation order.
+  std::vector<size_t> Order;
+  /// Per equation: a ready-made join component (trivially-homomorphic
+  /// folds). A seed passing the oracle's tests is accepted without any
+  /// search; a failing seed falls back to the normal search.
+  std::map<std::string, ExprRef> Seeds;
+  /// Per equation: the state variables whose split values its search may
+  /// reference (the variable's dependence closure plus auxiliaries).
+  /// Equations without an entry search over all variables. If a restricted
+  /// search fails, it is retried unrestricted, so guidance never changes
+  /// what is synthesizable — only how fast.
+  std::map<std::string, std::set<std::string>> AllowedVars;
+};
 
 /// Tuning for the synthesis search.
 struct JoinSynthOptions {
@@ -50,6 +71,8 @@ struct JoinSynthOptions {
   /// loops so the Table-1 "parallelizable in original form" judgement
   /// matches the paper's sketch space).
   bool AllowEmptyGuard = true;
+  /// Dependence-derived ordering, seeds, and variable restrictions.
+  JoinGuidance Guidance;
   OracleOptions Oracle;
 };
 
@@ -59,6 +82,12 @@ struct JoinStats {
   uint64_t EnumeratedCandidates = 0;
   unsigned CegisIterations = 0;
   unsigned TestsUsed = 0;
+  /// Equations whose join was accepted from a dependence-analysis seed
+  /// without running any search.
+  unsigned SeedsAccepted = 0;
+  /// Equations whose dependence-restricted search failed and was retried
+  /// over the full variable set.
+  unsigned RestrictionRetries = 0;
   double Seconds = 0.0;
 };
 

@@ -42,9 +42,10 @@ TEST_P(PipelineSweep, MatchesPaperExpectations) {
 
   ASSERT_TRUE(Result.Success) << Result.report();
   EXPECT_EQ(Result.AuxRequired, B.ExpectAuxRequired) << Result.report();
-  if (B.ExpectedAux >= 0)
+  if (B.ExpectedAux >= 0) {
     EXPECT_EQ(Result.AuxCount, static_cast<unsigned>(B.ExpectedAux))
         << Result.report();
+  }
 
   // Independent validation: the homomorphism property on fresh inputs with
   // lengths and values well beyond the synthesis oracle's bound.

@@ -1,0 +1,41 @@
+#!/usr/bin/env bash
+# Sanitizer CI sweep: builds and tests the project under ASan+UBSan, then
+# re-runs the threading-sensitive tests under TSan. Warnings are promoted
+# to errors in both configurations.
+#
+# Usage: tools/ci/sanitize.sh [build-dir-prefix]
+#   Build trees are created at <prefix>-asan and <prefix>-tsan
+#   (default prefix: build-sanitize).
+
+set -euo pipefail
+
+if [[ "${1:-}" == -* ]]; then
+  sed -n '2,8p' "$0" | sed 's/^# \{0,1\}//'
+  exit 2
+fi
+
+cd "$(dirname "$0")/../.."
+PREFIX="${1:-build-sanitize}"
+JOBS="$(nproc 2>/dev/null || echo 4)"
+
+echo "== ASan + UBSan =="
+cmake -B "${PREFIX}-asan" -S . \
+  -DPARSYNT_SANITIZE=address \
+  -DPARSYNT_WERROR=ON
+cmake --build "${PREFIX}-asan" -j "${JOBS}"
+# abort_on_error: make ASan failures fail the ctest run loudly.
+ASAN_OPTIONS=abort_on_error=1 UBSAN_OPTIONS=halt_on_error=1 \
+  ctest --test-dir "${PREFIX}-asan" --output-on-failure -j "${JOBS}"
+
+echo "== TSan (runtime / task-pool tests) =="
+cmake -B "${PREFIX}-tsan" -S . \
+  -DPARSYNT_SANITIZE=thread \
+  -DPARSYNT_WERROR=ON
+cmake --build "${PREFIX}-tsan" -j "${JOBS}"
+# The parallel runtime is the only component that spawns threads; limit
+# the TSan pass to the tests that exercise it (full synthesis under TSan
+# is prohibitively slow).
+ctest --test-dir "${PREFIX}-tsan" --output-on-failure -j "${JOBS}" \
+  -R 'runtime|codegen'
+
+echo "sanitize.sh: all clean"

@@ -9,6 +9,9 @@
 //   parsynt <file>                parallelize the loop in <file>
 //   parsynt --benchmark <name>    parallelize a Table-1 benchmark
 //   parsynt --list                list the Table-1 benchmarks
+//   parsynt --analyze ...         static analysis only: lint diagnostics,
+//                                 per-variable dependence classification,
+//                                 and the IR verifier verdict — no synthesis
 //   Flags: --emit-dafny <path>    write the Figure-7 proof artifact
 //          --check-proof          check the induction obligations
 //          --selftest             run the join on random data in parallel
@@ -16,6 +19,7 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "analysis/Verifier.h"
 #include "codegen/EmitCpp.h"
 #include "frontend/Convert.h"
 #include "pipeline/Parallelizer.h"
@@ -37,8 +41,8 @@ namespace {
 int usage() {
   std::fprintf(stderr,
                "usage: parsynt [<file> | --benchmark <name> | --list]\n"
-               "               [--emit-dafny <path>] [--check-proof] "
-               "[--selftest]\n");
+               "               [--analyze] [--emit-dafny <path>] "
+               "[--check-proof] [--selftest]\n");
   return 2;
 }
 
@@ -77,7 +81,7 @@ bool runSelfTest(const PipelineResult &Result) {
 
 int main(int argc, char **argv) {
   std::string File, BenchmarkName, DafnyPath, CppPath;
-  bool CheckProof = false, SelfTest = false, List = false;
+  bool CheckProof = false, SelfTest = false, List = false, Analyze = false;
 
   for (int I = 1; I < argc; ++I) {
     std::string Arg = argv[I];
@@ -87,6 +91,8 @@ int main(int argc, char **argv) {
       DafnyPath = argv[++I];
     else if (Arg == "--emit-cpp" && I + 1 < argc)
       CppPath = argv[++I];
+    else if (Arg == "--analyze")
+      Analyze = true;
     else if (Arg == "--check-proof")
       CheckProof = true;
     else if (Arg == "--selftest")
@@ -128,9 +134,25 @@ int main(int argc, char **argv) {
       std::fprintf(stderr, "%s", Diags.str().c_str());
       return 1;
     }
+    // Surface non-fatal lint warnings (e.g. index-dependence notes).
+    if (!Diags.diagnostics().empty())
+      std::fprintf(stderr, "%s", Diags.str().c_str());
     L = *Parsed;
   } else {
     return usage();
+  }
+
+  if (Analyze) {
+    DependenceInfo Info = analyzeDependences(L);
+    std::printf("%s", Info.table().c_str());
+    VerifierReport Report = verifyLoop(L, VerifyPhase::AfterFrontend);
+    if (!Report.ok()) {
+      std::printf("%s", Report.str().c_str());
+      return 1;
+    }
+    std::printf("verifier: ok (%zu state variables, %zu sccs)\n",
+                Info.Vars.size(), Info.Sccs.size());
+    return 0;
   }
 
   PipelineResult Result = parallelizeLoop(L);
