@@ -12,18 +12,21 @@
 // The paper runs 2-billion-element arrays with grain 50k on a 64-core
 // Proliant; this harness defaults to 2^24 elements (override with
 // PARSYNT_FIG8_ELEMS) and sweeps thread counts up to the machine's core
-// count (the shape — near-linear scaling to the core count, ~1.0 one-core
-// overhead — is the reproduction target; see EXPERIMENTS.md).
+// count, or up to PARSYNT_FIG8_THREADS to probe oversubscription (the
+// shape — near-linear scaling to the core count, ~1.0 one-core overhead —
+// is the reproduction target; see EXPERIMENTS.md).
 //
 //===----------------------------------------------------------------------===//
 
 #include "runtime/ParallelReduce.h"
 #include "suite/Kernels.h"
 
+#include <algorithm>
 #include <chrono>
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <thread>
 #include <vector>
 
@@ -50,12 +53,25 @@ template <typename Fn> double bestOf(unsigned Reps, Fn &&Body) {
 
 } // namespace
 
-int main() {
+int main(int argc, char **argv) {
+  bool Stats = false;
+  for (int I = 1; I < argc; ++I) {
+    if (std::strcmp(argv[I], "--stats") == 0) {
+      Stats = true;
+    } else {
+      std::fprintf(stderr, "usage: fig8 [--stats]\n");
+      return 2;
+    }
+  }
   size_t N = size_t(1) << 26;
   if (const char *Env = std::getenv("PARSYNT_FIG8_ELEMS"))
     N = static_cast<size_t>(std::atoll(Env));
   const size_t Grain = 50000; // the paper's grain size
-  unsigned Cores = std::max(1u, std::thread::hardware_concurrency());
+  // PARSYNT_FIG8_THREADS extends the sweep past the core count so the
+  // scheduler's oversubscription behaviour is measurable on small machines.
+  unsigned Cores = defaultThreadCount();
+  if (const char *Env = std::getenv("PARSYNT_FIG8_THREADS"))
+    Cores = std::max(1u, static_cast<unsigned>(std::atoi(Env)));
   std::vector<unsigned> ThreadCounts;
   for (unsigned T = 1; T <= Cores; T *= 2)
     ThreadCounts.push_back(T);
@@ -87,8 +103,10 @@ int main() {
     });
 
     std::printf("%-12s %10.3f |", K.Name.c_str(), SeqTime);
+    std::vector<std::string> StatLines;
     for (unsigned T : ThreadCounts) {
       TaskPool Pool(T);
+      Pool.setTimingEnabled(Stats);
       int64_t ParOut = 0;
       double ParTime = bestOf(Reps, [&] {
         KState S = parallelReduce<KState>(
@@ -103,10 +121,19 @@ int main() {
         std::printf(" WRONG! ");
       else
         std::printf("  %5.2f ", SeqTime / ParTime);
-      if (T == 1)
+      // Exclude degenerate rows from the §8.2 statistic: when the
+      // sequential loop compiles to O(1) (length), the ratio divides by
+      // ~0 and measures nothing but the fixed cost of the grain tree.
+      if (T == 1 && SeqTime > 1e-3)
         OneThreadSlowdowns.push_back(ParTime / SeqTime);
+      if (Stats)
+        StatLines.push_back("    x" + std::to_string(T) + " (" +
+                            std::to_string(Reps) + " reps): " +
+                            Pool.statsSnapshot().summary());
     }
     std::printf("\n");
+    for (const std::string &Line : StatLines)
+      std::printf("%s\n", Line.c_str());
   }
 
   // Section 8.2: single-core overhead of the runtime + lifted leaves.
@@ -120,7 +147,7 @@ int main() {
   double Sigma = std::sqrt(Var / OneThreadSlowdowns.size());
   std::printf("\nSingle-core slowdown of the parallel version (paper: mean "
               "~1.0, sigma ~0.04):\n  mean %.3f, sigma %.3f over %zu "
-              "benchmarks\n",
+              "benchmarks (degenerate seq<1ms rows excluded)\n",
               Mean, Sigma, OneThreadSlowdowns.size());
   return 0;
 }

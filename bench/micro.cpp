@@ -106,6 +106,33 @@ void BM_TaskPoolSpawnJoin(benchmark::State &State) {
 }
 BENCHMARK(BM_TaskPoolSpawnJoin);
 
+// Scheduler-overhead check: a leaf-grain sweep (trivial leaves, grain 1
+// relative to a small range) where spawn/steal/park cost dominates. The
+// spawn/steal/park counters are reported so scheduler regressions are
+// visible directly in bench output, not just as wall time.
+void BM_SchedulerOverheadFineGrain(benchmark::State &State) {
+  TaskPool Pool(static_cast<unsigned>(State.range(0)));
+  const size_t N = 4096;
+  for (auto _ : State) {
+    int64_t Sum = parallelReduce<int64_t>(
+        BlockedRange{0, N, 1}, Pool,
+        [](size_t B, size_t E) { return static_cast<int64_t>(E - B); },
+        [](const int64_t &L, const int64_t &R) { return L + R; });
+    benchmark::DoNotOptimize(Sum);
+    if (Sum != static_cast<int64_t>(N))
+      State.SkipWithError("wrong reduction result");
+  }
+  StatsSnapshot Snap = Pool.statsSnapshot();
+  double Iters = static_cast<double>(std::max<int64_t>(State.iterations(), 1));
+  State.counters["spawns/iter"] =
+      static_cast<double>(Snap.Total.Spawned) / Iters;
+  State.counters["steals/iter"] =
+      static_cast<double>(Snap.Total.Stolen) / Iters;
+  State.counters["parks/iter"] = static_cast<double>(Snap.Total.Parks) / Iters;
+  State.SetItemsProcessed(State.iterations() * N);
+}
+BENCHMARK(BM_SchedulerOverheadFineGrain)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
+
 } // namespace
 
 BENCHMARK_MAIN();

@@ -53,7 +53,7 @@ int main() {
   double SeqTime = secondsOf(
       [&] { SeqState = K.Sequential(Input.data(), nullptr, N); });
 
-  unsigned Cores = std::thread::hardware_concurrency();
+  unsigned Cores = defaultThreadCount();
   TaskPool Pool(Cores);
   KState ParState;
   double ParTime = secondsOf([&] {

@@ -85,7 +85,7 @@ int main() {
   for (int &V : Data)
     V = static_cast<int>(Rand() % 3);
 
-  TaskPool Pool(std::thread::hardware_concurrency());
+  TaskPool Pool(defaultThreadCount());
   RunState Par = parallelReduce<RunState>(
       BlockedRange{0, Data.size(), 65536}, Pool,
       [&](size_t B, size_t E) { return leaf(Data, B, E); },

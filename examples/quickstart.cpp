@@ -59,7 +59,7 @@ int main() {
     Data.push_back(Value::ofInt((I * 7919) % 10007 - 5000));
   Seqs["s"] = std::move(Data);
 
-  TaskPool Pool(std::thread::hardware_concurrency());
+  TaskPool Pool(defaultThreadCount());
   StateTuple Par =
       parallelRunLoop(Result.Final, Result.Join.Components, Seqs, Pool,
                       /*Grain=*/4096);

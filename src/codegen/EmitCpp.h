@@ -16,13 +16,15 @@
 ///   - `init()`, `step(State&, ...)` (one loop iteration),
 ///   - `leaf(first, last, ...)` (the sequential run over a chunk),
 ///   - `join(const State&, const State&)` (the synthesized operator),
-///   - `parallel_run(...)` — a self-contained fork-join divide-and-conquer
-///     driver over std::thread (no external dependencies), and
+///   - `parallel_run(...)` — the divide-and-conquer driver, running on the
+///     same header-only work-stealing runtime (`runtime/ParallelReduce.h`)
+///     as `InterpReduce` and the benchmarks, and
 ///   - a `main` that checks the parallel result against the sequential
 ///     loop on random data.
 ///
-/// The generated file compiles with any C++17 compiler:
-///   g++ -O2 -std=c++17 -pthread out.cpp
+/// The generated file compiles with any C++17 compiler given the parsynt
+/// headers on the include path:
+///   g++ -O2 -std=c++17 -pthread -I <parsynt>/src out.cpp
 ///
 //===----------------------------------------------------------------------===//
 

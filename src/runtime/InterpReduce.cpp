@@ -9,21 +9,39 @@
 
 using namespace parsynt;
 
+JoinApplier::JoinApplier(const Loop &L, const std::vector<ExprRef> &Join,
+                         const Env &Params)
+    : Components(Join), Template(Params) {
+  LeftKeys.reserve(L.Equations.size());
+  RightKeys.reserve(L.Equations.size());
+  for (const Equation &Eq : L.Equations) {
+    LeftKeys.push_back(Eq.Name + "_l");
+    RightKeys.push_back(Eq.Name + "_r");
+    Template[LeftKeys.back()] = Value();
+    Template[RightKeys.back()] = Value();
+  }
+}
+
+StateTuple JoinApplier::operator()(const StateTuple &Left,
+                                   const StateTuple &Right) const {
+  Env E = Template; // structural copy; no insertions below
+  for (size_t I = 0; I != LeftKeys.size(); ++I) {
+    E.find(LeftKeys[I])->second = Left[I];
+    E.find(RightKeys[I])->second = Right[I];
+  }
+  StateTuple Result;
+  Result.reserve(Components.size());
+  for (const ExprRef &Component : Components)
+    Result.push_back(evalExpr(Component, E));
+  return Result;
+}
+
 StateTuple parsynt::applyJoinComponents(const Loop &L,
                                         const std::vector<ExprRef> &Join,
                                         const StateTuple &Left,
                                         const StateTuple &Right,
                                         const Env &Params) {
-  Env E = Params;
-  for (size_t I = 0; I != L.Equations.size(); ++I) {
-    E[L.Equations[I].Name + "_l"] = Left[I];
-    E[L.Equations[I].Name + "_r"] = Right[I];
-  }
-  StateTuple Result;
-  Result.reserve(Join.size());
-  for (const ExprRef &Component : Join)
-    Result.push_back(evalExpr(Component, E));
-  return Result;
+  return JoinApplier(L, Join, Params)(Left, Right);
 }
 
 StateTuple parsynt::parallelRunLoop(const Loop &L,
@@ -35,15 +53,18 @@ StateTuple parsynt::parallelRunLoop(const Loop &L,
   if (Length == 0)
     return initialState(L, Params);
 
+  // Hoisted out of the per-node hot path: one applier for the whole tree.
+  JoinApplier Join2(L, Join, Params);
+  StateTuple Init = initialState(L, Params);
+
   BlockedRange Range{0, Length, std::max<size_t>(Grain, 1)};
   return parallelReduce<StateTuple>(
       Range, Pool,
       [&](size_t Begin, size_t End) {
-        return runLoopRange(L, initialState(L, Params), Seqs,
-                            static_cast<int64_t>(Begin),
+        return runLoopRange(L, Init, Seqs, static_cast<int64_t>(Begin),
                             static_cast<int64_t>(End), Params);
       },
       [&](const StateTuple &Left, const StateTuple &Right) {
-        return applyJoinComponents(L, Join, Left, Right, Params);
+        return Join2(Left, Right);
       });
 }

@@ -26,7 +26,30 @@
 
 namespace parsynt {
 
-/// Applies the join components to two state tuples.
+/// Evaluates join components over left/right state tuples. The parameter
+/// bindings and the `<var>_l` / `<var>_r` environment keys are built once
+/// at construction; each application copies the prepared environment and
+/// only assigns the 2k state values, keeping string concatenation and
+/// parameter insertion out of the per-node hot path. Applications are
+/// const and thread-safe (interior joins run concurrently on the pool).
+class JoinApplier {
+public:
+  JoinApplier(const Loop &L, const std::vector<ExprRef> &Join,
+              const Env &Params);
+
+  StateTuple operator()(const StateTuple &Left,
+                        const StateTuple &Right) const;
+
+private:
+  std::vector<ExprRef> Components;
+  Env Template;                       ///< params + placeholder _l/_r slots
+  std::vector<std::string> LeftKeys;  ///< prebuilt "<var>_l" keys
+  std::vector<std::string> RightKeys; ///< prebuilt "<var>_r" keys
+};
+
+/// Applies the join components to two state tuples. Convenience wrapper
+/// constructing a one-shot JoinApplier; loops over many join nodes should
+/// build the applier once instead.
 StateTuple applyJoinComponents(const Loop &L,
                                const std::vector<ExprRef> &Join,
                                const StateTuple &Left,

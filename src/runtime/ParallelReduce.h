@@ -13,6 +13,15 @@
 /// the midpoint), so the join tree mirrors the paper's diagram exactly and
 /// the result is deterministic regardless of scheduling.
 ///
+/// This is the one scheduling skeleton shared by every consumer: the
+/// interpreted runtime (`InterpReduce`), the native Figure-8 kernels, and
+/// the standalone programs emitted by `codegen/EmitCpp` (which #include
+/// this header rather than re-deriving a thread-spawning driver).
+///
+/// When the pool has timing enabled (`TaskPool::setTimingEnabled`), leaf
+/// and join wall-times are accumulated into the pool's ReduceTimings and
+/// show up in its stats snapshot.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef PARSYNT_RUNTIME_PARALLELREDUCE_H
@@ -20,6 +29,7 @@
 
 #include "runtime/TaskPool.h"
 
+#include <chrono>
 #include <cstddef>
 
 namespace parsynt {
@@ -35,20 +45,55 @@ struct BlockedRange {
   bool divisible() const { return size() > Grain; }
 };
 
+namespace detail {
+
+inline uint64_t nanosSince(std::chrono::steady_clock::time_point Start) {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - Start)
+          .count());
+}
+
+template <typename T, typename LeafFn>
+T timedLeaf(TaskPool &Pool, LeafFn &Leaf, size_t Begin, size_t End) {
+  if (!Pool.timingEnabled())
+    return Leaf(Begin, End);
+  auto Start = std::chrono::steady_clock::now();
+  T Result = Leaf(Begin, End);
+  Pool.timings().noteLeaf(nanosSince(Start));
+  return Result;
+}
+
+template <typename T, typename JoinFn>
+T timedJoin(TaskPool &Pool, JoinFn &Join, const T &Left, const T &Right) {
+  if (!Pool.timingEnabled())
+    return Join(Left, Right);
+  auto Start = std::chrono::steady_clock::now();
+  T Result = Join(Left, Right);
+  Pool.timings().noteJoin(nanosSince(Start));
+  return Result;
+}
+
+} // namespace detail
+
 /// Recursive divide-and-conquer reduction.
 ///
 /// \param Leaf  T(size_t begin, size_t end) — the sequential computation on
 ///              a chunk, started from the loop's own initial state.
 /// \param Join  T(const T&, const T&) — the synthesized join.
 ///
-/// The recursion spawns the right half into the pool and descends into the
-/// left half on the current thread (help-first). Join order is fixed by the
-/// recursion structure, so results are bitwise deterministic.
+/// The recursion spawns the right half onto the current thread's own deque
+/// and descends into the left half; the join then drains that deque first
+/// (help-first), so a joining thread works on its own subtree before
+/// stealing and never busy-waits. The join tree is fixed by Range and
+/// Grain alone — a 1-thread pool executes the identical tree in place
+/// (TBB behaves the same way) — so results are bitwise deterministic for
+/// any thread count.
 template <typename T, typename LeafFn, typename JoinFn>
 T parallelReduce(const BlockedRange &Range, TaskPool &Pool, LeafFn &&Leaf,
                  JoinFn &&Join) {
-  if (!Range.divisible() || Pool.threadCount() == 1)
-    return Leaf(Range.Begin, Range.End);
+  if (!Range.divisible())
+    return detail::timedLeaf<T>(Pool, Leaf, Range.Begin, Range.End);
 
   size_t Mid = Range.Begin + Range.size() / 2;
   BlockedRange LeftRange{Range.Begin, Mid, Range.Grain};
@@ -56,12 +101,17 @@ T parallelReduce(const BlockedRange &Range, TaskPool &Pool, LeafFn &&Leaf,
 
   T RightResult{};
   TaskGroup Group;
-  Pool.spawn(Group, [&] {
-    RightResult = parallelReduce<T>(RightRange, Pool, Leaf, Join);
-  });
+  const bool Spawned = Pool.threadCount() > 1;
+  if (Spawned)
+    Pool.spawn(Group, [&] {
+      RightResult = parallelReduce<T>(RightRange, Pool, Leaf, Join);
+    });
   T LeftResult = parallelReduce<T>(LeftRange, Pool, Leaf, Join);
-  Pool.wait(Group);
-  return Join(LeftResult, RightResult);
+  if (Spawned)
+    Pool.wait(Group);
+  else
+    RightResult = parallelReduce<T>(RightRange, Pool, Leaf, Join);
+  return detail::timedJoin<T>(Pool, Join, LeftResult, RightResult);
 }
 
 /// Sequential reference with the identical join tree (used by tests to pin

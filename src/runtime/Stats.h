@@ -1,0 +1,159 @@
+//===- runtime/Stats.h - Scheduler observability counters -------*- C++ -*-===//
+//
+// Part of Parsynt-CXX, a reproduction of "Synthesis of Divide and Conquer
+// Parallelism for Loops" (PLDI 2017).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Lightweight observability for the work-stealing runtime: per-worker
+/// spawn/execute/steal/park counters and (optionally, when timing is
+/// enabled on the pool) leaf/join wall-time accumulated by the reduce
+/// skeleton. Counters are relaxed atomics on cache-line-padded per-worker
+/// slots, so the hot path pays one uncontended increment per event; a
+/// snapshot aggregates them into a printable table. Dumped by
+/// `bench/fig8 --stats` and `parsynt --runtime-stats`.
+///
+/// Header-only (C++17) so the emitted standalone programs can share it.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PARSYNT_RUNTIME_STATS_H
+#define PARSYNT_RUNTIME_STATS_H
+
+#include <atomic>
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace parsynt {
+
+/// Per-worker event counters. Each slot is written only by the thread
+/// currently bound to it (relaxed increments); readers snapshot with
+/// relaxed loads, so totals are exact once the pool is quiescent and
+/// monotone approximations while it runs.
+struct alignas(64) WorkerCounters {
+  std::atomic<uint64_t> Spawned{0};   ///< tasks pushed by this worker
+  std::atomic<uint64_t> Executed{0};  ///< tasks run by this worker
+  std::atomic<uint64_t> Stolen{0};    ///< successful steals from a victim
+  std::atomic<uint64_t> StealFails{0};///< empty-handed victim probes
+  std::atomic<uint64_t> Parks{0};     ///< times this worker blocked idle
+
+  void bump(std::atomic<uint64_t> WorkerCounters::*Field) {
+    (this->*Field).fetch_add(1, std::memory_order_relaxed);
+  }
+};
+
+/// Leaf/join wall-time accumulated by parallelReduce when the pool has
+/// timing enabled (off by default: two clock reads per leaf/join are not
+/// free at fine grain).
+struct ReduceTimings {
+  std::atomic<uint64_t> LeafCount{0};
+  std::atomic<uint64_t> LeafNanos{0};
+  std::atomic<uint64_t> JoinCount{0};
+  std::atomic<uint64_t> JoinNanos{0};
+
+  void noteLeaf(uint64_t Nanos) {
+    LeafCount.fetch_add(1, std::memory_order_relaxed);
+    LeafNanos.fetch_add(Nanos, std::memory_order_relaxed);
+  }
+  void noteJoin(uint64_t Nanos) {
+    JoinCount.fetch_add(1, std::memory_order_relaxed);
+    JoinNanos.fetch_add(Nanos, std::memory_order_relaxed);
+  }
+};
+
+/// A plain-value copy of one worker's counters.
+struct WorkerStatsRow {
+  uint64_t Spawned = 0, Executed = 0, Stolen = 0, StealFails = 0, Parks = 0;
+
+  WorkerStatsRow &operator+=(const WorkerStatsRow &O) {
+    Spawned += O.Spawned;
+    Executed += O.Executed;
+    Stolen += O.Stolen;
+    StealFails += O.StealFails;
+    Parks += O.Parks;
+    return *this;
+  }
+};
+
+/// Aggregated snapshot of a pool's counters. Row 0 is the calling thread's
+/// slot, rows 1..N-1 the dedicated workers, and the final row (when
+/// present) pools every unregistered external thread.
+struct StatsSnapshot {
+  std::vector<WorkerStatsRow> Workers;
+  WorkerStatsRow Total;
+  uint64_t LeafCount = 0, LeafNanos = 0, JoinCount = 0, JoinNanos = 0;
+  bool TimingEnabled = false;
+
+  /// One compact summary line: totals only.
+  std::string summary() const {
+    char Buf[256];
+    std::snprintf(Buf, sizeof(Buf),
+                  "spawns=%llu steals=%llu steal-fails=%llu parks=%llu",
+                  (unsigned long long)Total.Spawned,
+                  (unsigned long long)Total.Stolen,
+                  (unsigned long long)Total.StealFails,
+                  (unsigned long long)Total.Parks);
+    std::string S = Buf;
+    if (TimingEnabled && (LeafCount || JoinCount)) {
+      std::snprintf(Buf, sizeof(Buf),
+                    " leaves=%llu (%.2f ms) joins=%llu (%.3f ms)",
+                    (unsigned long long)LeafCount, LeafNanos / 1e6,
+                    (unsigned long long)JoinCount, JoinNanos / 1e6);
+      S += Buf;
+    }
+    return S;
+  }
+
+  /// Full per-worker table.
+  std::string table() const {
+    std::string S;
+    char Buf[256];
+    std::snprintf(Buf, sizeof(Buf), "%-8s %10s %10s %10s %12s %8s\n",
+                  "worker", "spawned", "executed", "stolen", "steal-fails",
+                  "parks");
+    S += Buf;
+    for (size_t I = 0; I != Workers.size(); ++I) {
+      const WorkerStatsRow &W = Workers[I];
+      std::string Label = I == 0                 ? "caller"
+                          : I + 1 == Workers.size() ? "external"
+                                                    : "w" + std::to_string(I);
+      // The trailing "external" row only exists for unregistered threads;
+      // in the common single-caller case Workers.size() == pool size and
+      // the last dedicated worker keeps its wN label.
+      if (I != 0 && I + 1 == Workers.size() && !ExternalRow)
+        Label = "w" + std::to_string(I);
+      std::snprintf(Buf, sizeof(Buf),
+                    "%-8s %10llu %10llu %10llu %12llu %8llu\n", Label.c_str(),
+                    (unsigned long long)W.Spawned,
+                    (unsigned long long)W.Executed,
+                    (unsigned long long)W.Stolen,
+                    (unsigned long long)W.StealFails,
+                    (unsigned long long)W.Parks);
+      S += Buf;
+    }
+    std::snprintf(Buf, sizeof(Buf), "%-8s %10llu %10llu %10llu %12llu %8llu\n",
+                  "total", (unsigned long long)Total.Spawned,
+                  (unsigned long long)Total.Executed,
+                  (unsigned long long)Total.Stolen,
+                  (unsigned long long)Total.StealFails,
+                  (unsigned long long)Total.Parks);
+    S += Buf;
+    if (TimingEnabled) {
+      std::snprintf(Buf, sizeof(Buf),
+                    "leaves: %llu in %.3f ms; joins: %llu in %.3f ms\n",
+                    (unsigned long long)LeafCount, LeafNanos / 1e6,
+                    (unsigned long long)JoinCount, JoinNanos / 1e6);
+      S += Buf;
+    }
+    return S;
+  }
+
+  bool ExternalRow = false;
+};
+
+} // namespace parsynt
+
+#endif // PARSYNT_RUNTIME_STATS_H

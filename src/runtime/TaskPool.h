@@ -1,4 +1,4 @@
-//===- runtime/TaskPool.h - Fork-join worker pool ---------------*- C++ -*-===//
+//===- runtime/TaskPool.h - Work-stealing fork-join pool --------*- C++ -*-===//
 //
 // Part of Parsynt-CXX, a reproduction of "Synthesis of Divide and Conquer
 // Parallelism for Loops" (PLDI 2017).
@@ -6,76 +6,585 @@
 //===----------------------------------------------------------------------===//
 ///
 /// \file
-/// A small fork-join worker pool standing in for Intel TBB's task
-/// scheduler (the paper's execution substrate). Tasks are type-erased
-/// thunks; a thread blocked on a child's completion *helps* by draining the
-/// queue, so recursive divide-and-conquer never deadlocks regardless of
-/// pool size. The pool is deliberately simple — a global mutex-protected
-/// deque — because the divide-and-conquer skeleton's leaves are
-/// grain-sized (tens of thousands of elements), making scheduler overhead
-/// negligible, which is the regime the paper evaluates.
+/// A work-stealing fork-join scheduler standing in for Intel TBB's task
+/// scheduler (the paper's execution substrate). Each worker owns a
+/// Chase-Lev deque: the owner pushes and pops LIFO at the bottom (so a
+/// joining thread drains its own subtree depth-first, help-first), thieves
+/// steal FIFO from the top (so they take the oldest — largest — subtree).
+/// Victim selection is randomized. Idle workers and joining threads park on
+/// a condition variable and are woken when work arrives or their group
+/// completes; nothing in the pool spin-waits.
+///
+/// Tasks are fixed-size nodes with inline (small-buffer) storage for the
+/// callable — no `std::function`, no global lock on the spawn path — and
+/// freed nodes are recycled through a per-worker freelist.
+///
+/// Thread roles: `TaskPool(N)` starts N-1 dedicated workers; the slot-0
+/// deque is claimed by the first external thread that touches the pool
+/// (normally the caller driving parallelReduce), so its spawns are
+/// lock-free too. Additional external threads fall back to a small
+/// mutex-protected injection queue, which workers also poll.
+///
+/// Header-only (C++17) so emitted standalone programs share the exact
+/// scheduler used by `InterpReduce` and the benchmarks.
 ///
 //===----------------------------------------------------------------------===//
 
 #ifndef PARSYNT_RUNTIME_TASKPOOL_H
 #define PARSYNT_RUNTIME_TASKPOOL_H
 
+#include "runtime/Stats.h"
+
 #include <atomic>
+#include <cassert>
 #include <condition_variable>
+#include <cstddef>
+#include <cstdint>
 #include <deque>
 #include <functional>
+#include <memory>
 #include <mutex>
+#include <new>
 #include <thread>
+#include <type_traits>
+#include <utility>
 #include <vector>
 
 namespace parsynt {
 
-/// A handle used to wait for a spawned task. Completion is signalled by an
-/// atomic counter so waiting threads can spin-help on the pool.
+class TaskPool;
+
+/// The number of threads a pool should use by default: the hardware
+/// concurrency, clamped to at least 1 (the standard permits
+/// hardware_concurrency() == 0 when it cannot be determined).
+inline unsigned defaultThreadCount() {
+  unsigned HW = std::thread::hardware_concurrency();
+  return HW == 0 ? 1 : HW;
+}
+
+/// A handle used to wait for spawned tasks. Completion is an atomic
+/// counter; the pool wakes parked joiners when it reaches zero.
 class TaskGroup {
 public:
   void incr() { Pending.fetch_add(1, std::memory_order_relaxed); }
-  void done() { Pending.fetch_sub(1, std::memory_order_acq_rel); }
+
+  /// Decrements the pending count; returns true when this call completed
+  /// the group. seq_cst so the waker/sleeper handshake in TaskPool::wait
+  /// cannot miss the final decrement.
+  bool done() { return Pending.fetch_sub(1, std::memory_order_seq_cst) == 1; }
+
   bool finished() const {
-    return Pending.load(std::memory_order_acquire) == 0;
+    return Pending.load(std::memory_order_seq_cst) == 0;
   }
 
 private:
   std::atomic<int> Pending{0};
 };
 
-/// Fork-join worker pool. `Threads` counts the total workers including the
-/// calling thread's participation via wait(); pass 1 for a sequential pool
-/// (used by the Figure-8 single-core overhead measurement).
-class TaskPool {
+namespace detail {
+
+/// A spawned task: fixed-size node, callable stored inline when it fits
+/// (the common case — parallelReduce's closures are a few references),
+/// boxed on the heap otherwise. Nodes are recycled via per-worker
+/// freelists, so steady-state spawning allocates nothing.
+class TaskNode {
 public:
-  explicit TaskPool(unsigned Threads);
-  ~TaskPool();
+  static constexpr size_t InlineBytes = 48;
+
+  TaskGroup *Group = nullptr;
+  TaskNode *NextFree = nullptr; // freelist link (only while free)
+
+  template <typename Fn> void bind(TaskGroup &G, Fn &&F) {
+    using Decayed = std::decay_t<Fn>;
+    Group = &G;
+    if constexpr (sizeof(Decayed) <= InlineBytes &&
+                  alignof(Decayed) <= alignof(std::max_align_t)) {
+      ::new (static_cast<void *>(Storage)) Decayed(std::forward<Fn>(F));
+      Invoke = [](TaskNode *T) {
+        Decayed *Callable =
+            std::launder(reinterpret_cast<Decayed *>(T->Storage));
+        (*Callable)();
+        Callable->~Decayed();
+      };
+    } else {
+      auto *Boxed = new Decayed(std::forward<Fn>(F));
+      ::new (static_cast<void *>(Storage)) Decayed *(Boxed);
+      Invoke = [](TaskNode *T) {
+        Decayed *Callable =
+            *std::launder(reinterpret_cast<Decayed **>(T->Storage));
+        (*Callable)();
+        delete Callable;
+      };
+    }
+  }
+
+  void run() { Invoke(this); }
+
+private:
+  void (*Invoke)(TaskNode *) = nullptr;
+  alignas(std::max_align_t) unsigned char Storage[InlineBytes];
+};
+
+/// Chase-Lev work-stealing deque of TaskNode pointers. Single owner calls
+/// push/pop at the bottom; any thread may steal at the top. The portable
+/// variant with seq_cst on the top/bottom handshake (no standalone fences,
+/// which ThreadSanitizer cannot model); slots are relaxed atomics, so a
+/// racy slot read whose CAS subsequently fails reads a stale value, never
+/// tears. Retired rings are kept until destruction so a slow thief can
+/// still read through an old buffer pointer.
+class WorkDeque {
+  struct Ring {
+    explicit Ring(size_t Capacity)
+        : Mask(Capacity - 1),
+          Slots(std::make_unique<std::atomic<TaskNode *>[]>(Capacity)) {
+      assert((Capacity & Mask) == 0 && "capacity must be a power of two");
+    }
+    size_t capacity() const { return Mask + 1; }
+    TaskNode *get(uint64_t I) const {
+      return Slots[I & Mask].load(std::memory_order_relaxed);
+    }
+    void put(uint64_t I, TaskNode *T) {
+      Slots[I & Mask].store(T, std::memory_order_relaxed);
+    }
+    const size_t Mask;
+    std::unique_ptr<std::atomic<TaskNode *>[]> Slots;
+  };
+
+public:
+  WorkDeque() : Buf(new Ring(64)) {}
+
+  ~WorkDeque() { delete Buf.load(std::memory_order_relaxed); }
+
+  WorkDeque(const WorkDeque &) = delete;
+  WorkDeque &operator=(const WorkDeque &) = delete;
+
+  /// Owner only. The seq_cst bottom store doubles as the publication of
+  /// the slot and as the waker side of the sleep handshake.
+  void push(TaskNode *T) {
+    uint64_t B = Bottom.load(std::memory_order_relaxed);
+    uint64_t Tp = Top.load(std::memory_order_acquire);
+    Ring *R = Buf.load(std::memory_order_relaxed);
+    if (B - Tp > R->Mask)
+      R = grow(R, Tp, B);
+    R->put(B, T);
+    Bottom.store(B + 1, std::memory_order_seq_cst);
+  }
+
+  /// Owner only; LIFO (most recently pushed — the deepest subtree).
+  TaskNode *pop() {
+    uint64_t B = Bottom.load(std::memory_order_relaxed);
+    uint64_t Tp = Top.load(std::memory_order_relaxed);
+    if (Tp >= B)
+      return nullptr; // empty (only the owner moves Bottom up)
+    B = B - 1;
+    Bottom.store(B, std::memory_order_seq_cst);
+    Tp = Top.load(std::memory_order_seq_cst);
+    if (Tp > B) { // a thief emptied it under us
+      Bottom.store(B + 1, std::memory_order_relaxed);
+      return nullptr;
+    }
+    Ring *R = Buf.load(std::memory_order_relaxed);
+    TaskNode *T = R->get(B);
+    if (Tp == B) {
+      // Last element: race the thieves for it via CAS on Top.
+      if (!Top.compare_exchange_strong(Tp, Tp + 1, std::memory_order_seq_cst,
+                                       std::memory_order_relaxed))
+        T = nullptr;
+      Bottom.store(B + 1, std::memory_order_relaxed);
+    }
+    return T;
+  }
+
+  /// Any thread; FIFO (oldest — the largest subtree).
+  TaskNode *steal() {
+    uint64_t Tp = Top.load(std::memory_order_seq_cst);
+    uint64_t B = Bottom.load(std::memory_order_seq_cst);
+    if (Tp >= B)
+      return nullptr;
+    Ring *R = Buf.load(std::memory_order_acquire);
+    TaskNode *T = R->get(Tp);
+    if (!Top.compare_exchange_strong(Tp, Tp + 1, std::memory_order_seq_cst,
+                                     std::memory_order_relaxed))
+      return nullptr;
+    return T;
+  }
+
+  /// Approximate (exact for the sleep handshake's purposes: the seq_cst
+  /// loads pair with push's seq_cst bottom store).
+  bool maybeNonEmpty() const {
+    uint64_t Tp = Top.load(std::memory_order_seq_cst);
+    uint64_t B = Bottom.load(std::memory_order_seq_cst);
+    return Tp < B;
+  }
+
+private:
+  Ring *grow(Ring *Old, uint64_t Tp, uint64_t B) {
+    Ring *Fresh = new Ring(Old->capacity() * 2);
+    for (uint64_t I = Tp; I != B; ++I)
+      Fresh->put(I, Old->get(I));
+    Buf.store(Fresh, std::memory_order_release);
+    Retired.emplace_back(Old); // owner-only; freed with the deque
+    return Fresh;
+  }
+
+  std::atomic<uint64_t> Top{0};
+  std::atomic<uint64_t> Bottom{0};
+  std::atomic<Ring *> Buf;
+  std::vector<std::unique_ptr<Ring>> Retired;
+};
+
+} // namespace detail
+
+/// Work-stealing fork-join pool. `Threads` counts the total workers
+/// including the calling thread's participation via wait(); pass 1 for a
+/// sequential pool (used by the Figure-8 single-core overhead
+/// measurement).
+class TaskPool {
+  struct Slot; // per-worker state, below
+
+public:
+  explicit TaskPool(unsigned Threads)
+      : NumThreads(Threads == 0 ? 1 : Threads),
+        Slots(std::make_unique<Slot[]>(NumThreads)),
+        ExternalCounters(std::make_unique<WorkerCounters>()) {
+    for (unsigned I = 1; I < NumThreads; ++I)
+      Workers.emplace_back([this, I] { workerLoop(I); });
+  }
+
+  ~TaskPool() {
+    {
+      std::lock_guard<std::mutex> Lock(IdleMutex);
+      ShuttingDown = true;
+    }
+    IdleCv.notify_all();
+    for (std::thread &W : Workers)
+      W.join();
+    assert(!anyDequeWork() && Injection.empty() &&
+           "pool destroyed with pending tasks");
+    for (unsigned I = 0; I != NumThreads; ++I)
+      for (detail::TaskNode *T = Slots[I].FreeList; T;) {
+        detail::TaskNode *Next = T->NextFree;
+        delete T;
+        T = Next;
+      }
+  }
 
   TaskPool(const TaskPool &) = delete;
   TaskPool &operator=(const TaskPool &) = delete;
 
   unsigned threadCount() const { return NumThreads; }
 
-  /// Enqueues \p Fn under \p Group. The group must outlive the task.
-  void spawn(TaskGroup &Group, std::function<void()> Fn);
+  /// Enqueues \p Fn under \p Group. The group must outlive the task. From
+  /// a pool thread (or the claimed caller) this pushes onto the spawner's
+  /// own deque with no lock taken.
+  template <typename Fn> void spawn(TaskGroup &Group, Fn &&F) {
+    Group.incr();
+    int S = mySlot();
+    detail::TaskNode *T = allocTask(S);
+    T->bind(Group, std::forward<Fn>(F));
+    counters(S).bump(&WorkerCounters::Spawned);
+    if (S >= 0) {
+      Slots[S].Deque.push(T);
+    } else {
+      std::lock_guard<std::mutex> Lock(IdleMutex);
+      Injection.push_back(T);
+      HaveInjected.store(true, std::memory_order_seq_cst);
+    }
+    wakeOne();
+  }
 
-  /// Runs queued tasks until \p Group completes (work-helping join).
-  void wait(TaskGroup &Group);
+  /// Runs tasks until \p Group completes: drains the caller's own deque
+  /// (help-first — its own subtree, deepest task first), then steals from
+  /// random victims; parks when no work exists anywhere, woken by new
+  /// spawns or by the group's completion.
+  void wait(TaskGroup &Group) {
+    int S = mySlot();
+    uint64_t &Rng = stealRng();
+    while (!Group.finished()) {
+      detail::TaskNode *T = S >= 0 ? Slots[S].Deque.pop() : nullptr;
+      if (!T)
+        T = trySteal(S, Rng);
+      if (T) {
+        runTask(T, S);
+        continue;
+      }
+      parkUnless([&] { return Group.finished(); }, S);
+    }
+  }
 
-  /// Pops and runs one task if available. Returns false when the queue was
-  /// empty.
-  bool tryRunOne();
+  /// Pops or steals one task and runs it. Returns false if no work was
+  /// found anywhere.
+  bool tryRunOne() {
+    int S = mySlot();
+    detail::TaskNode *T = S >= 0 ? Slots[S].Deque.pop() : nullptr;
+    if (!T)
+      T = trySteal(S, stealRng());
+    if (!T)
+      return false;
+    runTask(T, S);
+    return true;
+  }
+
+  /// \name Observability
+  /// @{
+
+  /// Enables leaf/join timing in parallelReduce (event counters are always
+  /// on; they are uncontended relaxed increments).
+  void setTimingEnabled(bool On) { TimingOn = On; }
+  bool timingEnabled() const { return TimingOn; }
+  ReduceTimings &timings() { return Timings; }
+
+  StatsSnapshot statsSnapshot() const {
+    StatsSnapshot Snap;
+    Snap.TimingEnabled = TimingOn;
+    auto Row = [](const WorkerCounters &C) {
+      WorkerStatsRow R;
+      R.Spawned = C.Spawned.load(std::memory_order_relaxed);
+      R.Executed = C.Executed.load(std::memory_order_relaxed);
+      R.Stolen = C.Stolen.load(std::memory_order_relaxed);
+      R.StealFails = C.StealFails.load(std::memory_order_relaxed);
+      R.Parks = C.Parks.load(std::memory_order_relaxed);
+      return R;
+    };
+    for (unsigned I = 0; I != NumThreads; ++I)
+      Snap.Workers.push_back(Row(Slots[I].Counters));
+    WorkerStatsRow Ext = Row(*ExternalCounters);
+    if (Ext.Spawned || Ext.Executed || Ext.Stolen || Ext.StealFails ||
+        Ext.Parks) {
+      Snap.Workers.push_back(Ext);
+      Snap.ExternalRow = true;
+    }
+    for (const WorkerStatsRow &W : Snap.Workers)
+      Snap.Total += W;
+    Snap.LeafCount = Timings.LeafCount.load(std::memory_order_relaxed);
+    Snap.LeafNanos = Timings.LeafNanos.load(std::memory_order_relaxed);
+    Snap.JoinCount = Timings.JoinCount.load(std::memory_order_relaxed);
+    Snap.JoinNanos = Timings.JoinNanos.load(std::memory_order_relaxed);
+    return Snap;
+  }
+
+  void resetStats() {
+    for (unsigned I = 0; I != NumThreads; ++I)
+      resetCounters(Slots[I].Counters);
+    resetCounters(*ExternalCounters);
+    Timings.LeafCount.store(0, std::memory_order_relaxed);
+    Timings.LeafNanos.store(0, std::memory_order_relaxed);
+    Timings.JoinCount.store(0, std::memory_order_relaxed);
+    Timings.JoinNanos.store(0, std::memory_order_relaxed);
+  }
+
+  /// @}
 
 private:
-  void workerLoop();
+  struct alignas(64) Slot {
+    detail::WorkDeque Deque;
+    WorkerCounters Counters;
+    detail::TaskNode *FreeList = nullptr; ///< owner-thread only
+    unsigned FreeCount = 0;
+  };
+
+  /// Identity of the current thread within this pool: the slot index of a
+  /// dedicated worker, 0 for the (first) external caller, or -1 for an
+  /// unregistered external thread. Dedicated workers record themselves in
+  /// a thread_local; external callers are recognized by thread id.
+  struct TlsBinding {
+    const TaskPool *Pool = nullptr;
+    unsigned Index = 0;
+  };
+  static TlsBinding &tlsBinding() {
+    static thread_local TlsBinding B;
+    return B;
+  }
+  static uint64_t &stealRng() {
+    static thread_local uint64_t State = 0;
+    if (State == 0)
+      State = 0x9E3779B97F4A7C15ull ^
+              std::hash<std::thread::id>()(std::this_thread::get_id());
+    return State;
+  }
+
+  int mySlot() {
+    // Dedicated workers are identified by a thread_local set at thread
+    // start (those threads die with the pool, so it cannot go stale).
+    TlsBinding &B = tlsBinding();
+    if (B.Pool == this)
+      return static_cast<int>(B.Index);
+    // External thread: recognize or claim slot 0 by thread id. Later
+    // external threads fall back to the injection queue (-1).
+    std::thread::id Self = std::this_thread::get_id();
+    std::thread::id Owner = CallerId.load(std::memory_order_acquire);
+    if (Owner == Self)
+      return 0;
+    std::thread::id None{};
+    if (Owner == None &&
+        CallerId.compare_exchange_strong(None, Self,
+                                         std::memory_order_acq_rel))
+      return 0;
+    return -1;
+  }
+
+  WorkerCounters &counters(int S) {
+    return S >= 0 ? Slots[S].Counters : *ExternalCounters;
+  }
+
+  detail::TaskNode *allocTask(int S) {
+    if (S >= 0 && Slots[S].FreeList) {
+      detail::TaskNode *T = Slots[S].FreeList;
+      Slots[S].FreeList = T->NextFree;
+      --Slots[S].FreeCount;
+      return T;
+    }
+    return new detail::TaskNode();
+  }
+
+  void freeTask(detail::TaskNode *T, int S) {
+    if (S >= 0 && Slots[S].FreeCount < 1024) {
+      T->NextFree = Slots[S].FreeList;
+      Slots[S].FreeList = T;
+      ++Slots[S].FreeCount;
+      return;
+    }
+    delete T;
+  }
+
+  void runTask(detail::TaskNode *T, int S) {
+    counters(S).bump(&WorkerCounters::Executed);
+    TaskGroup *G = T->Group;
+    T->run();
+    freeTask(T, S);
+    if (G->done())
+      wakeAll(); // group completed: wake any parked joiners
+  }
+
+  /// One randomized sweep over the other workers' deques plus the
+  /// injection queue. Returns null when everything looked empty.
+  detail::TaskNode *trySteal(int S, uint64_t &Rng) {
+    // xorshift64*
+    auto Next = [&Rng] {
+      Rng ^= Rng >> 12;
+      Rng ^= Rng << 25;
+      Rng ^= Rng >> 27;
+      return Rng * 0x2545F4914F6CDD1Dull;
+    };
+    if (NumThreads > 1) {
+      unsigned Start = static_cast<unsigned>(Next() % NumThreads);
+      for (unsigned K = 0; K != NumThreads; ++K) {
+        unsigned V = Start + K >= NumThreads ? Start + K - NumThreads
+                                             : Start + K;
+        if (static_cast<int>(V) == S)
+          continue;
+        if (detail::TaskNode *T = Slots[V].Deque.steal()) {
+          counters(S).bump(&WorkerCounters::Stolen);
+          return T;
+        }
+      }
+    }
+    if (HaveInjected.load(std::memory_order_seq_cst)) {
+      std::lock_guard<std::mutex> Lock(IdleMutex);
+      if (!Injection.empty()) {
+        detail::TaskNode *T = Injection.front();
+        Injection.pop_front();
+        if (Injection.empty())
+          HaveInjected.store(false, std::memory_order_seq_cst);
+        counters(S).bump(&WorkerCounters::Stolen);
+        return T;
+      }
+    }
+    counters(S).bump(&WorkerCounters::StealFails);
+    return nullptr;
+  }
+
+  bool anyDequeWork() const {
+    for (unsigned I = 0; I != NumThreads; ++I)
+      if (Slots[I].Deque.maybeNonEmpty())
+        return true;
+    return HaveInjected.load(std::memory_order_seq_cst);
+  }
+
+  /// Blocks until woken, unless \p Done already holds or work is visible.
+  /// The seq_cst Sleepers increment followed by the work re-scan pairs
+  /// with the waker's work-publish followed by the seq_cst Sleepers load
+  /// (Dekker-style: at least one side sees the other), so no wakeup is
+  /// lost without taking a lock on the spawn fast path.
+  template <typename DoneFn> void parkUnless(DoneFn &&Done, int S) {
+    std::unique_lock<std::mutex> Lock(IdleMutex);
+    Sleepers.fetch_add(1, std::memory_order_seq_cst);
+    if (!Done() && !anyDequeWork() && !ShuttingDown) {
+      counters(S).bump(&WorkerCounters::Parks);
+      IdleCv.wait(Lock);
+    }
+    Sleepers.fetch_sub(1, std::memory_order_relaxed);
+  }
+
+  void wakeOne() {
+    if (Sleepers.load(std::memory_order_seq_cst) == 0)
+      return;
+    // Lock so the notify cannot slip between a sleeper's re-scan and its
+    // wait(); the critical section is empty on purpose.
+    std::lock_guard<std::mutex> Lock(IdleMutex);
+    IdleCv.notify_one();
+  }
+
+  void wakeAll() {
+    if (Sleepers.load(std::memory_order_seq_cst) == 0)
+      return;
+    std::lock_guard<std::mutex> Lock(IdleMutex);
+    IdleCv.notify_all();
+  }
+
+  void workerLoop(unsigned Index) {
+    tlsBinding() = {this, Index};
+    uint64_t &Rng = stealRng();
+    int S = static_cast<int>(Index);
+    while (true) {
+      detail::TaskNode *T = Slots[Index].Deque.pop();
+      if (!T)
+        T = trySteal(S, Rng);
+      if (T) {
+        runTask(T, S);
+        continue;
+      }
+      {
+        std::unique_lock<std::mutex> Lock(IdleMutex);
+        Sleepers.fetch_add(1, std::memory_order_seq_cst);
+        if (!anyDequeWork() && !ShuttingDown) {
+          Slots[Index].Counters.bump(&WorkerCounters::Parks);
+          IdleCv.wait(Lock);
+        }
+        Sleepers.fetch_sub(1, std::memory_order_relaxed);
+        if (ShuttingDown && !anyDequeWork())
+          return;
+      }
+    }
+  }
+
+  static void resetCounters(WorkerCounters &C) {
+    C.Spawned.store(0, std::memory_order_relaxed);
+    C.Executed.store(0, std::memory_order_relaxed);
+    C.Stolen.store(0, std::memory_order_relaxed);
+    C.StealFails.store(0, std::memory_order_relaxed);
+    C.Parks.store(0, std::memory_order_relaxed);
+  }
 
   unsigned NumThreads;
+  std::unique_ptr<Slot[]> Slots;
   std::vector<std::thread> Workers;
-  std::deque<std::pair<TaskGroup *, std::function<void()>>> Queue;
-  std::mutex QueueMutex;
-  std::condition_variable QueueCv;
-  bool ShuttingDown = false;
+  std::atomic<std::thread::id> CallerId{};
+
+  // Injection queue for unregistered external threads (rare: only when a
+  // second external thread shares the pool). Guarded by IdleMutex.
+  std::deque<detail::TaskNode *> Injection;
+  std::atomic<bool> HaveInjected{false};
+
+  std::mutex IdleMutex;
+  std::condition_variable IdleCv;
+  std::atomic<int> Sleepers{0};
+  bool ShuttingDown = false; // guarded by IdleMutex
+
+  // Observability (counters live in the slots; timing is pool-wide).
+  std::unique_ptr<WorkerCounters> ExternalCounters;
+  ReduceTimings Timings;
+  bool TimingOn = false;
 };
 
 } // namespace parsynt

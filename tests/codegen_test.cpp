@@ -77,8 +77,10 @@ TEST_P(EmittedProgram, CompilesAndSelfChecks) {
     std::ofstream Out(Src);
     Out << Code;
   }
-  std::string Compile =
-      "g++ -O1 -std=c++17 -pthread -o " + Bin + " " + Src + " 2>&1";
+  // The emitted program includes the shared header-only runtime, so it
+  // compiles (as C++17) against the parsynt src tree.
+  std::string Compile = "g++ -O1 -std=c++17 -pthread -I " PARSYNT_SRC_DIR
+                        " -o " + Bin + " " + Src + " 2>&1";
   ASSERT_EQ(std::system(Compile.c_str()), 0) << "compile failed:\n" << Code;
   ASSERT_EQ(std::system((Bin + " > /dev/null").c_str()), 0)
       << "generated self-check failed for " << Name;

@@ -14,7 +14,16 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
+#include <cstring>
+#include <functional>
 #include <numeric>
+#include <thread>
+#include <utility>
+
+#ifdef __linux__
+#include <ctime>
+#endif
 
 using namespace parsynt;
 using namespace parsynt::test;
@@ -55,6 +64,178 @@ TEST(TaskPool, NestedSpawnDoesNotDeadlock) {
   }
   Pool.wait(Outer);
   EXPECT_EQ(Counter.load(), 256);
+}
+
+// The seed pool's wait() busy-spun on yield() while the group was
+// unfinished. A joining thread with no runnable work must park: its CPU
+// time while a worker runs a long task should be near zero, not the full
+// wall time of the task.
+TEST(TaskPool, WaitParksInsteadOfSpinning) {
+#ifdef __linux__
+  TaskPool Pool(2);
+  TaskGroup Group;
+  std::atomic<bool> Started{false};
+  Pool.spawn(Group, [&] {
+    Started.store(true);
+    std::this_thread::sleep_for(std::chrono::milliseconds(300));
+  });
+  // Let the dedicated worker take the task so our wait() finds an empty
+  // deque and nothing to steal.
+  while (!Started.load())
+    std::this_thread::yield();
+
+  auto ThreadCpuNanos = [] {
+    timespec Ts{};
+    clock_gettime(CLOCK_THREAD_CPUTIME_ID, &Ts);
+    return uint64_t(Ts.tv_sec) * 1000000000ull + uint64_t(Ts.tv_nsec);
+  };
+  uint64_t CpuBefore = ThreadCpuNanos();
+  auto WallBefore = std::chrono::steady_clock::now();
+  Pool.wait(Group);
+  uint64_t CpuSpent = ThreadCpuNanos() - CpuBefore;
+  auto WallSpent = std::chrono::steady_clock::now() - WallBefore;
+
+  // The join waited most of the sleep; a spinning join burns that long in
+  // CPU, a parked one only the park/unpark cost. 100ms leaves a wide
+  // margin for sanitizer and scheduling noise.
+  EXPECT_GT(std::chrono::duration_cast<std::chrono::milliseconds>(WallSpent)
+                .count(),
+            100);
+  EXPECT_LT(CpuSpent, 100u * 1000 * 1000)
+      << "wait() burned CPU while blocked - spin-wait regression";
+#else
+  GTEST_SKIP() << "thread CPU clock test is Linux-only";
+#endif
+}
+
+// Fine-grain recursive reduce across a wide range of pool sizes,
+// including heavy oversubscription of the host. Also the ThreadSanitizer
+// workhorse: grain 1 maximizes spawn/steal/park traffic.
+TEST(TaskPool, RecursiveGrainOneAcrossThreadCounts) {
+  const size_t N = 300;
+  for (unsigned Threads : {2u, 4u, 8u, 16u, 32u, 64u}) {
+    TaskPool Pool(Threads);
+    int64_t Sum = parallelReduce<int64_t>(
+        BlockedRange{0, N, 1}, Pool,
+        [](size_t B, size_t E) {
+          int64_t S = 0;
+          for (size_t I = B; I != E; ++I)
+            S += static_cast<int64_t>(I);
+          return S;
+        },
+        [](const int64_t &A, const int64_t &B) { return A + B; });
+    EXPECT_EQ(Sum, static_cast<int64_t>(N * (N - 1) / 2))
+        << "threads " << Threads;
+  }
+}
+
+// The join tree is fixed by (range, grain), not by the schedule, so even
+// a non-associative floating-point reduction must be bitwise identical
+// across thread counts and equal to sequentialReduce over the same tree.
+TEST(ParallelReduce, BitwiseDeterministicAcrossThreadCounts) {
+  const size_t N = 10007;
+  std::vector<double> Data(N);
+  for (size_t I = 0; I != N; ++I)
+    Data[I] = (I % 2 ? 1.0 : -1.0) / static_cast<double>(3 * I + 1);
+  auto Leaf = [&](size_t B, size_t E) {
+    double S = 0;
+    for (size_t I = B; I != E; ++I)
+      S += Data[I];
+    return S;
+  };
+  auto Join = [](const double &A, const double &B) { return A + B; };
+
+  const BlockedRange Range{0, N, 64};
+  double Reference = sequentialReduce<double>(Range, Leaf, Join);
+  for (unsigned Threads : {1u, 2u, 3u, 8u, 32u}) {
+    TaskPool Pool(Threads);
+    for (int Round = 0; Round != 3; ++Round) {
+      double Par = parallelReduce<double>(Range, Pool, Leaf, Join);
+      EXPECT_EQ(std::memcmp(&Par, &Reference, sizeof(double)), 0)
+          << "threads " << Threads << " round " << Round
+          << ": " << Par << " vs " << Reference;
+    }
+  }
+}
+
+// More concurrent waits than workers: every task in a deep spawn/wait
+// recursion blocks on a child group. Designs where a joining thread can
+// only sleep (without helping) or only help its own queue (without being
+// woken on completion) starve here.
+TEST(TaskPool, OversubscribedNestedWaits) {
+  TaskPool Pool(2);
+  std::function<int64_t(int)> Fib = [&](int K) -> int64_t {
+    if (K < 2)
+      return K;
+    int64_t Right = 0;
+    TaskGroup Group;
+    Pool.spawn(Group, [&] { Right = Fib(K - 2); });
+    int64_t Left = Fib(K - 1);
+    Pool.wait(Group);
+    return Left + Right;
+  };
+  EXPECT_EQ(Fib(16), 987);
+}
+
+// Several external (non-pool) threads drive the same pool concurrently:
+// one claims the caller slot, the rest go through the injection queue.
+TEST(TaskPool, MultipleExternalThreads) {
+  TaskPool Pool(2);
+  constexpr int NumDrivers = 4;
+  const size_t N = 4096;
+  std::vector<int64_t> Results(NumDrivers, -1);
+  std::vector<std::thread> Drivers;
+  for (int D = 0; D != NumDrivers; ++D)
+    Drivers.emplace_back([&, D] {
+      Results[D] = parallelReduce<int64_t>(
+          BlockedRange{0, N, 16}, Pool,
+          [](size_t B, size_t E) { return static_cast<int64_t>(E - B); },
+          [](const int64_t &A, const int64_t &B) { return A + B; });
+    });
+  for (std::thread &T : Drivers)
+    T.join();
+  for (int D = 0; D != NumDrivers; ++D)
+    EXPECT_EQ(Results[D], static_cast<int64_t>(N)) << "driver " << D;
+}
+
+TEST(TaskPool, StatsCountersAddUp) {
+  TaskPool Pool(4);
+  Pool.setTimingEnabled(true);
+  const size_t N = 1000, Grain = 100;
+  // The tree splits until size <= grain: count its leaves/joins.
+  std::function<std::pair<uint64_t, uint64_t>(size_t)> Shape =
+      [&](size_t Len) -> std::pair<uint64_t, uint64_t> {
+    if (Len <= Grain)
+      return {1, 0};
+    auto L = Shape(Len / 2), R = Shape(Len - Len / 2);
+    return {L.first + R.first, L.second + R.second + 1};
+  };
+  auto [Leaves, Joins] = Shape(N);
+
+  int64_t Sum = parallelReduce<int64_t>(
+      BlockedRange{0, N, Grain}, Pool,
+      [](size_t B, size_t E) { return static_cast<int64_t>(E - B); },
+      [](const int64_t &A, const int64_t &B) { return A + B; });
+  EXPECT_EQ(Sum, static_cast<int64_t>(N));
+
+  StatsSnapshot Snap = Pool.statsSnapshot();
+  // Every interior node spawns exactly one task, and every spawned task is
+  // executed exactly once, by somebody.
+  EXPECT_EQ(Snap.Total.Spawned, Joins);
+  EXPECT_EQ(Snap.Total.Executed, Snap.Total.Spawned);
+  EXPECT_EQ(Snap.LeafCount, Leaves);
+  EXPECT_EQ(Snap.JoinCount, Joins);
+  EXPECT_FALSE(Snap.summary().empty());
+  EXPECT_FALSE(Snap.table().empty());
+
+  Pool.resetStats();
+  StatsSnapshot Zero = Pool.statsSnapshot();
+  EXPECT_EQ(Zero.Total.Spawned, 0u);
+  EXPECT_EQ(Zero.LeafCount, 0u);
+}
+
+TEST(TaskPool, DefaultThreadCountIsPositive) {
+  EXPECT_GE(defaultThreadCount(), 1u);
 }
 
 TEST(ParallelReduce, MatchesSequentialSum) {

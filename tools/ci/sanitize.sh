@@ -26,16 +26,28 @@ cmake --build "${PREFIX}-asan" -j "${JOBS}"
 # abort_on_error: make ASan failures fail the ctest run loudly.
 ASAN_OPTIONS=abort_on_error=1 UBSAN_OPTIONS=halt_on_error=1 \
   ctest --test-dir "${PREFIX}-asan" --output-on-failure -j "${JOBS}"
+# Scheduler smoke under ASan: the full Figure-8 harness on a small input.
+PARSYNT_FIG8_ELEMS=200000 ASAN_OPTIONS=abort_on_error=1 \
+  UBSAN_OPTIONS=halt_on_error=1 "${PREFIX}-asan/bench/fig8" --stats \
+  > /dev/null
 
 echo "== TSan (runtime / task-pool tests) =="
 cmake -B "${PREFIX}-tsan" -S . \
   -DPARSYNT_SANITIZE=thread \
-  -DPARSYNT_WERROR=ON
+  -DPARSYNT_WERROR=ON \
+  -DPARSYNT_TEST_TIMEOUT=3600
 cmake --build "${PREFIX}-tsan" -j "${JOBS}"
 # The parallel runtime is the only component that spawns threads; limit
 # the TSan pass to the tests that exercise it (full synthesis under TSan
-# is prohibitively slow).
-ctest --test-dir "${PREFIX}-tsan" --output-on-failure -j "${JOBS}" \
-  -R 'runtime|codegen'
+# is prohibitively slow). runtime_test carries the work-stealing pool's
+# dedicated races: grain-1 recursion at 2-64 threads, oversubscribed
+# nested waits, concurrent external drivers, and the park/wake handshake.
+TSAN_OPTIONS=halt_on_error=1 \
+  ctest --test-dir "${PREFIX}-tsan" --output-on-failure -j "${JOBS}" \
+  --no-tests=error \
+  -R '^(TaskPool|ParallelReduce|SequentialReduce|InterpReduce|EmitCpp|Representative)'
+# Scheduler smoke under TSan as well (all 22 kernels through the pool).
+PARSYNT_FIG8_ELEMS=200000 TSAN_OPTIONS=halt_on_error=1 \
+  "${PREFIX}-tsan/bench/fig8" --stats > /dev/null
 
 echo "sanitize.sh: all clean"

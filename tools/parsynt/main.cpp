@@ -16,6 +16,9 @@
 //          --check-proof          check the induction obligations
 //          --selftest             run the join on random data in parallel
 //                                 and compare with the sequential loop
+//          --runtime-stats        with --selftest: print the scheduler's
+//                                 per-worker spawn/steal/park counters and
+//                                 leaf/join timings after the runs
 //
 //===----------------------------------------------------------------------===//
 
@@ -42,13 +45,15 @@ int usage() {
   std::fprintf(stderr,
                "usage: parsynt [<file> | --benchmark <name> | --list]\n"
                "               [--analyze] [--emit-dafny <path>] "
-               "[--check-proof] [--selftest]\n");
+               "[--check-proof] [--selftest]\n"
+               "               [--runtime-stats]\n");
   return 2;
 }
 
-bool runSelfTest(const PipelineResult &Result) {
+bool runSelfTest(const PipelineResult &Result, bool RuntimeStats) {
   const Loop &L = Result.Final;
-  TaskPool Pool(std::thread::hardware_concurrency());
+  TaskPool Pool(defaultThreadCount());
+  Pool.setTimingEnabled(RuntimeStats);
   Rng R(0x7357);
   for (unsigned Round = 0; Round != 20; ++Round) {
     size_t Len = static_cast<size_t>(R.intIn(0, 4000));
@@ -74,6 +79,9 @@ bool runSelfTest(const PipelineResult &Result) {
     }
   }
   std::printf("selftest: 20 parallel runs match the sequential loop\n");
+  if (RuntimeStats)
+    std::printf("runtime stats (%u threads):\n%s",
+                Pool.threadCount(), Pool.statsSnapshot().table().c_str());
   return true;
 }
 
@@ -82,6 +90,7 @@ bool runSelfTest(const PipelineResult &Result) {
 int main(int argc, char **argv) {
   std::string File, BenchmarkName, DafnyPath, CppPath;
   bool CheckProof = false, SelfTest = false, List = false, Analyze = false;
+  bool RuntimeStats = false;
 
   for (int I = 1; I < argc; ++I) {
     std::string Arg = argv[I];
@@ -97,6 +106,8 @@ int main(int argc, char **argv) {
       CheckProof = true;
     else if (Arg == "--selftest")
       SelfTest = true;
+    else if (Arg == "--runtime-stats")
+      RuntimeStats = true;
     else if (Arg == "--list")
       List = true;
     else if (!Arg.empty() && Arg[0] == '-')
@@ -178,10 +189,10 @@ int main(int argc, char **argv) {
     std::ofstream Out(CppPath);
     Out << emitParallelCpp(Result.Final, Result.Join.Components);
     std::printf("wrote parallel C++ to %s (build: g++ -O2 -std=c++17 "
-                "-pthread %s)\n",
+                "-pthread -I <parsynt>/src %s)\n",
                 CppPath.c_str(), CppPath.c_str());
   }
-  if (SelfTest && !runSelfTest(Result))
+  if (SelfTest && !runSelfTest(Result, RuntimeStats))
     return 1;
   return 0;
 }
