@@ -55,7 +55,7 @@ int main() {
   JoinResult Direct = synthesizeJoin(*L);
   std::printf("direct synthesis: %s\n",
               Direct.Success ? "succeeded (unexpected!)"
-                             : Direct.Failure.c_str());
+                             : Direct.Failure.str().c_str());
 
   // 2. Algorithm 1 discovers the auxiliary accumulator (the running sum).
   LiftResult Lift = liftLoop(*L);
@@ -68,7 +68,7 @@ int main() {
   JoinResult Join = synthesizeJoin(Lift.Lifted);
   if (!Join.Success) {
     std::fprintf(stderr, "join synthesis failed: %s\n",
-                 Join.Failure.c_str());
+                 Join.Failure.str().c_str());
     return 1;
   }
   std::printf("\n== join for the lifted loop ==\n%s",

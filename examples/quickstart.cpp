@@ -41,7 +41,7 @@ int main() {
   //    lifting is needed).
   PipelineResult Result = parallelizeLoop(*L);
   if (!Result.Success) {
-    std::fprintf(stderr, "synthesis failed: %s\n", Result.Failure.c_str());
+    std::fprintf(stderr, "synthesis failed: %s\n", Result.Failure.str().c_str());
     return 1;
   }
   std::printf("== synthesized join ==\n%s\n",

@@ -195,7 +195,23 @@ std::vector<Token> parsynt::lex(const std::string &Source,
       std::string Text(1, Ch);
       while (std::isdigit(static_cast<unsigned char>(C.peek())))
         Text += C.advance();
-      emit(TokKind::IntLiteral, Text, std::stoll(Text), Line, Col);
+      // Overflow-checked accumulation: std::stoll would throw out of the
+      // lexer on a literal past INT64_MAX.
+      int64_t Value = 0;
+      bool Overflow = false;
+      for (char Digit : Text) {
+        int64_t D = Digit - '0';
+        if (Value > (INT64_MAX - D) / 10) {
+          Overflow = true;
+          break;
+        }
+        Value = Value * 10 + D;
+      }
+      if (Overflow) {
+        Diags.error("integer literal '" + Text + "' out of range", Line, Col);
+        continue;
+      }
+      emit(TokKind::IntLiteral, Text, Value, Line, Col);
       continue;
     }
 

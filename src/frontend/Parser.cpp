@@ -77,9 +77,34 @@ private:
   DiagnosticEngine &Diags;
   size_t Pos = 0;
   bool Failed = false;
+
+  /// Recursion ceiling for the expression grammar: adversarially nested
+  /// input (deep ternaries, parentheses, unary chains) must produce a
+  /// diagnostic, not a stack overflow.
+  static constexpr unsigned MaxExprDepth = 200;
+  unsigned Depth = 0;
+
+  struct DepthGuard {
+    Parser &P;
+    bool Ok;
+    explicit DepthGuard(Parser &P) : P(P), Ok(P.Depth < MaxExprDepth) {
+      if (Ok)
+        ++P.Depth;
+      else
+        P.error("expression nesting deeper than " +
+                std::to_string(MaxExprDepth) + " levels");
+    }
+    ~DepthGuard() {
+      if (Ok)
+        --P.Depth;
+    }
+  };
 };
 
 SExprPtr Parser::parseExpr() {
+  DepthGuard Guard(*this);
+  if (!Guard.Ok)
+    return nullptr;
   SExprPtr Cond = parseOr();
   if (!Cond || !check(TokKind::Question))
     return Cond;
@@ -196,6 +221,11 @@ SExprPtr Parser::parseMultiplicative() {
 
 SExprPtr Parser::parseUnary() {
   if (check(TokKind::Minus) || check(TokKind::Bang)) {
+    // Guarded separately from parseExpr: a `!!!...x` chain recurses here
+    // without ever re-entering parseExpr.
+    DepthGuard Guard(*this);
+    if (!Guard.Ok)
+      return nullptr;
     std::string Op = check(TokKind::Minus) ? "-" : "!";
     SExprPtr E = makeExpr(SExprKind::Unary);
     advance();
@@ -270,6 +300,11 @@ SExprPtr Parser::parsePrimary() {
 
 bool Parser::parseStmt(std::vector<SStmt> &Out) {
   if (check(TokKind::KwIf)) {
+    // Nested if-statements recurse through parseStmtList without touching
+    // parseExpr, so they need their own ceiling.
+    DepthGuard Guard(*this);
+    if (!Guard.Ok)
+      return false;
     SStmt Stmt;
     Stmt.Kind = SStmtKind::If;
     Stmt.Line = peek().Line;

@@ -87,7 +87,8 @@ public:
     K = Options.Unfoldings;
     buildElementPool();
     buildFrames();
-    FromInit = unfoldLoop(Work, K, /*FromUnknowns=*/false);
+    FromInit = unfoldLoop(Work, K, /*FromUnknowns=*/false, limits());
+    noteIfExceeded("from-initialization");
   }
 
   LiftResult run();
@@ -95,6 +96,23 @@ public:
 private:
   void buildElementPool();
   void buildFrames();
+
+  UnfoldLimits limits() const { return {Options.MaxExprNodes}; }
+
+  /// Records a BudgetExhausted failure (and aborts further discovery) when
+  /// the last unfolding hit the node ceiling.
+  void noteIfExceeded(const char *Which) {
+    if (!FromInit.Exceeded || Aborted)
+      return;
+    Aborted = true;
+    Result.Failure = {
+        FailureKind::BudgetExhausted,
+        std::string("unfolding (") + Which + ") exceeded the " +
+            std::to_string(Options.MaxExprNodes) +
+            "-node expression ceiling at step " +
+            std::to_string(FromInit.Steps + 1) +
+            "; the loop's updates grow too fast to lift at this depth"};
+  }
 
   /// Evaluates \p E (over step inputs + params) in frame \p F.
   Value evalInFrame(const ExprRef &E, const Frame &F) const {
@@ -153,6 +171,8 @@ private:
   LiftOptions Options;
   Rng R;
   Loop Work; ///< input + materialized index + discovered auxiliaries
+  /// Set when an unfolding hit the node ceiling; discovery stops.
+  bool Aborted = false;
   unsigned K = 3;
   std::vector<int64_t> Pool;
   std::vector<Frame> Frames;
@@ -200,7 +220,10 @@ void Lifter::buildFrames() {
 
 bool Lifter::isCovered(const ExprRef &Part, unsigned Step) const {
   for (const Equation &Eq : Work.Equations) {
-    const ExprRef &AtStep = FromInit.ValuesAtStep.at(Eq.Name)[Step];
+    const auto &Values = FromInit.ValuesAtStep.at(Eq.Name);
+    if (Values.size() <= Step)
+      continue; // truncated unfolding (node ceiling)
+    const ExprRef &AtStep = Values[Step];
     if (AtStep->type() == Part->type() && equivOnFrames(Part, AtStep))
       return true;
   }
@@ -227,16 +250,22 @@ ExprRef Lifter::foldBack(const ExprRef &Part, unsigned Step, Type AuxTy,
   for (const Equation &Eq : Work.Equations) {
     if (Eq.Ty != Part->type())
       continue;
-    if (equivOnFrames(Part, FromInit.ValuesAtStep.at(Eq.Name)[Step - 1]))
+    const auto &Values = FromInit.ValuesAtStep.at(Eq.Name);
+    if (Values.size() < Step)
+      continue; // truncated unfolding (node ceiling)
+    if (equivOnFrames(Part, Values[Step - 1]))
       return stateVar(Eq.Name, Eq.Ty);
   }
   for (const Equation &Eq : Work.Equations) {
     if (Eq.Ty != Part->type())
       continue;
+    const auto &Values = FromInit.ValuesAtStep.at(Eq.Name);
+    if (Values.size() <= Step)
+      continue;
     // Step-k value of a state variable: inline its update expression (the
     // accumulator reads the pre-update state, so the update is evaluated in
     // place).
-    if (equivOnFrames(Part, FromInit.ValuesAtStep.at(Eq.Name)[Step]))
+    if (equivOnFrames(Part, Values[Step]))
       return Eq.Update;
   }
 
@@ -363,17 +392,18 @@ ExprRef Lifter::guardedUpdate(const ExprRef &G, const ExprRef &Part,
     Pos.Update = add(stateVar("_pos", Type::Int), intConst(1));
     Pos.IsAuxiliary = true;
     Work.Equations.push_back(std::move(Pos));
-    FromInit = unfoldLoop(Work, K, /*FromUnknowns=*/false);
+    FromInit = unfoldLoop(Work, K, /*FromUnknowns=*/false, limits());
+    noteIfExceeded("position-guard refresh");
     Result.Notes.push_back("materialized '_pos' for a start-guarded "
                            "accumulator");
     ExprRef Guard = eq(stateVar("_pos", Type::Int), intConst(0));
     ExprRef Candidate = ite(Guard, E1, G);
-    if (validateAccumulator(Candidate, InitCand, Part, Step, nullptr,
-                            PartsAtK))
+    if (!Aborted && validateAccumulator(Candidate, InitCand, Part, Step,
+                                        nullptr, PartsAtK))
       return Candidate;
     // Undo: the guard did not validate.
     Work.Equations.pop_back();
-    FromInit = unfoldLoop(Work, K, /*FromUnknowns=*/false);
+    FromInit = unfoldLoop(Work, K, /*FromUnknowns=*/false, limits());
     Result.Notes.pop_back();
   }
   return nullptr;
@@ -397,7 +427,8 @@ void Lifter::registerAux(const ExprRef &Definition, const ExprRef &Update,
   Result.Auxiliaries.push_back({Name, Eq.Ty, Definition, Renamed, Init});
   // Refresh the from-initialization unfolding so later coverage checks see
   // the new accumulator.
-  FromInit = unfoldLoop(Work, K, /*FromUnknowns=*/false);
+  FromInit = unfoldLoop(Work, K, /*FromUnknowns=*/false, limits());
+  noteIfExceeded("auxiliary refresh");
 }
 
 bool Lifter::deriveAccumulator(const ExprRef &Part, unsigned Step,
@@ -476,9 +507,32 @@ bool Lifter::deriveAccumulator(const ExprRef &Part, unsigned Step,
 
 LiftResult Lifter::run() {
   auto StartTime = std::chrono::steady_clock::now();
+  auto finish = [&]() -> LiftResult {
+    Result.Lifted = Work;
+    Result.Seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      StartTime)
+            .count();
+    return Result;
+  };
+
+  // The constructor's from-initialization unfolding already hit the node
+  // ceiling: nothing can be discovered at this depth.
+  if (Aborted)
+    return finish();
 
   // Unfold the *input* part of the loop from the symbolic split state.
-  Unfolding FromUnknown = unfoldLoop(Work, K, /*FromUnknowns=*/true);
+  Unfolding FromUnknown = unfoldLoop(Work, K, /*FromUnknowns=*/true, limits());
+  if (FromUnknown.Exceeded) {
+    Result.Failure = {
+        FailureKind::BudgetExhausted,
+        "unfolding (from split unknowns) exceeded the " +
+            std::to_string(Options.MaxExprNodes) +
+            "-node expression ceiling at step " +
+            std::to_string(FromUnknown.Steps + 1) +
+            "; the loop's updates grow too fast to lift at this depth"};
+    return finish();
+  }
 
   std::set<std::string> Unknowns;
   for (const Equation &Eq : Work.Equations)
@@ -509,6 +563,13 @@ LiftResult Lifter::run() {
       continue; // the materialized position accumulator needs no lifting
     std::vector<std::vector<ExprRef>> Parts(K + 1);
     for (unsigned Step = 1; Step <= K; ++Step) {
+      if (Options.Timeout.expired()) {
+        Result.Failure = {FailureKind::Timeout,
+                          "lifting deadline expired while normalizing the "
+                          "unfoldings of '" +
+                              Eq.Name + "'"};
+        return finish();
+      }
       ExprRef Tau = FromUnknown.ValuesAtStep.at(Eq.Name)[Step];
       // Canonical domain-specific normal forms first; the generic
       // cost-directed search is the fallback.
@@ -539,15 +600,24 @@ LiftResult Lifter::run() {
   // later variable's fold (e.g. mss's max-prefix-sum), so iterate until no
   // pass adds an auxiliary — the 'while Aux != OldAux' of Algorithm 1.
   const unsigned MaxPasses = 4;
-  for (unsigned Pass = 0; Pass != MaxPasses; ++Pass) {
+  for (unsigned Pass = 0; Pass != MaxPasses && !Aborted; ++Pass) {
     Result.Unresolved.clear();
     bool Changed = false;
     for (const Equation &Eq : OriginalEqs) {
+      if (Options.Timeout.expired()) {
+        // Keep whatever auxiliaries are already registered: a partially
+        // lifted loop is still a valid loop.
+        Result.Failure = {FailureKind::Timeout,
+                          "lifting deadline expired during accumulator "
+                          "discovery (pass " +
+                              std::to_string(Pass + 1) + ")"};
+        return finish();
+      }
       auto PartsIt = PartsByEq.find(Eq.Name);
       if (PartsIt == PartsByEq.end())
         continue;
       const auto &Parts = PartsIt->second;
-      for (unsigned Step = 2; Step <= K; ++Step) {
+      for (unsigned Step = 2; Step <= K && !Aborted; ++Step) {
         for (const ExprRef &Part : Parts[Step]) {
           // A literal repeated from the previous step is a fixed constant —
           // always available to a join, never an accumulator.
@@ -568,12 +638,7 @@ LiftResult Lifter::run() {
       break;
   }
 
-  Result.Lifted = Work;
-  Result.Seconds =
-      std::chrono::duration<double>(std::chrono::steady_clock::now() -
-                                    StartTime)
-          .count();
-  return Result;
+  return finish();
 }
 
 } // namespace

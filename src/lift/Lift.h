@@ -32,6 +32,8 @@
 
 #include "ir/Loop.h"
 #include "normalize/Normalizer.h"
+#include "support/Deadline.h"
+#include "support/Failure.h"
 
 #include <string>
 #include <vector>
@@ -58,6 +60,13 @@ struct LiftOptions {
   /// expressions into accumulator discovery.
   bool VerifyIR = true;
   NormalizeOptions Normalize;
+  /// Cooperative cancellation: lifting unwinds with a Timeout failure
+  /// (keeping any auxiliaries already discovered) when this expires.
+  Deadline Timeout;
+  /// Node-count ceiling handed to the unfolder (see UnfoldLimits): an
+  /// unfolding whose next step would exceed it aborts the lift attempt
+  /// with a BudgetExhausted diagnostic instead of exhausting memory.
+  uint64_t MaxExprNodes = 200000;
 };
 
 /// A discovered auxiliary accumulator.
@@ -80,6 +89,9 @@ struct LiftResult {
   /// (max-block-1 exercises this path, reproducing Table 1's footnote).
   std::vector<std::string> Unresolved;
   std::vector<std::string> Notes;
+  /// Structured failure (Timeout / BudgetExhausted); empty when the lift
+  /// ran to completion. Lifted stays a valid loop either way.
+  FailureInfo Failure;
   double Seconds = 0;
 
   /// Number of auxiliary equations in the lifted loop (discovered + the

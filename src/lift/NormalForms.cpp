@@ -68,6 +68,13 @@ struct Term {
 /// expr = max(terms). Nullopt when outside the fragment.
 using MaxOfSums = std::vector<Term>;
 
+/// Ceiling on the term count of any intermediate max-of-sums. Sums of
+/// maxes cross-multiply (|L|×|R| terms), so deeply nested max/+ towers
+/// grow exponentially; past the cap the expression is treated as outside
+/// the fragment and the caller falls back to the budgeted generic
+/// normalizer instead of exhausting memory.
+constexpr size_t TropicalTermCap = 4096;
+
 std::optional<MaxOfSums> toMaxOfSums(const ExprRef &E) {
   switch (E->kind()) {
   case ExprKind::IntConst: {
@@ -104,11 +111,15 @@ std::optional<MaxOfSums> toMaxOfSums(const ExprRef &E) {
       return std::nullopt;
     switch (B->op()) {
     case BinaryOp::Max: {
+      if (L->size() + R->size() > TropicalTermCap)
+        return std::nullopt;
       MaxOfSums Result = *L;
       Result.insert(Result.end(), R->begin(), R->end());
       return Result;
     }
     case BinaryOp::Add: {
+      if (L->size() * R->size() > TropicalTermCap)
+        return std::nullopt;
       MaxOfSums Result;
       for (const Term &A : *L)
         for (const Term &C : *R)

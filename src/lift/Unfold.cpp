@@ -77,7 +77,23 @@ Loop parsynt::materializeIndex(const Loop &L) {
   return Result;
 }
 
-Unfolding parsynt::unfoldLoop(const Loop &L, unsigned K, bool FromUnknowns) {
+namespace {
+
+/// Occurrences of state variable \p Name in \p E (substitution sites).
+uint64_t countVarUses(const ExprRef &E, const std::string &Name) {
+  uint64_t Count = 0;
+  forEachNode(E, [&](const ExprRef &Node) {
+    if (const auto *V = dyn_cast<VarExpr>(Node))
+      if (V->name() == Name)
+        ++Count;
+  });
+  return Count;
+}
+
+} // namespace
+
+Unfolding parsynt::unfoldLoop(const Loop &L, unsigned K, bool FromUnknowns,
+                              const UnfoldLimits &Limits) {
   assert(!readsIndex(L) &&
          "materializeIndex must be applied before unfolding");
   Unfolding Result;
@@ -95,6 +111,27 @@ Unfolding parsynt::unfoldLoop(const Loop &L, unsigned K, bool FromUnknowns) {
     Substitution Subst;
     for (const Equation &Eq : L.Equations)
       Subst[Eq.Name] = Result.ValuesAtStep[Eq.Name][Step - 1];
+
+    // Exact pre-substitution size of this step: substituting prev_v (size
+    // |prev_v|) for each of occ_v occurrences of v in an update of size
+    // |Update| yields |Update| + Σ_v occ_v × (|prev_v| − 1) nodes. Cached
+    // Expr::size() makes the estimate O(|Update|) — no expression is built
+    // only to be thrown away.
+    uint64_t StepNodes = 0;
+    for (const Equation &Eq : L.Equations) {
+      uint64_t Estimate = Eq.Update->size();
+      for (const Equation &Prev : L.Equations) {
+        uint64_t Occ = countVarUses(Eq.Update, Prev.Name);
+        if (Occ)
+          Estimate += Occ * (Subst[Prev.Name]->size() - 1);
+      }
+      StepNodes += Estimate;
+    }
+    if (StepNodes > Limits.MaxExprNodes) {
+      Result.Steps = Step - 1;
+      Result.Exceeded = true;
+      return Result;
+    }
 
     for (const Equation &Eq : L.Equations) {
       ExprRef Stepped = substitute(Eq.Update, Subst);

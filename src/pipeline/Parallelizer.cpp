@@ -69,7 +69,12 @@ bool verifyAt(const Loop &L, VerifyPhase Phase, const PipelineOptions &Options,
   VerifierReport Report = verifyLoop(L, Phase);
   if (Report.ok())
     return true;
-  Result.Failure = Report.str();
+  // A frontend-phase violation indicts the input program; every later
+  // phase verifies IR produced by our own passes.
+  Result.Failure = {Phase == VerifyPhase::AfterFrontend
+                        ? FailureKind::FragmentViolation
+                        : FailureKind::InternalError,
+                    Report.str()};
   return false;
 }
 
@@ -103,9 +108,10 @@ JoinGuidance makeGuidance(const Loop &L, const DependenceInfo &Info) {
 /// folds the timing / seed statistics into \p Result.
 JoinResult runJoinSynthesis(const Loop &W, JoinSynthOptions JoinOpts,
                             const PipelineOptions &Options,
-                            PipelineResult &Result) {
+                            PipelineResult &Result, const Deadline &DL) {
   if (Options.UseDependenceAnalysis)
     JoinOpts.Guidance = makeGuidance(W, analyzeDependences(W));
+  JoinOpts.Timeout = Deadline::sooner(JoinOpts.Timeout, DL);
   JoinResult Join = synthesizeJoin(W, JoinOpts);
   Result.JoinSeconds += Join.Stats.Seconds;
   Result.SeedsAccepted += Join.Stats.SeedsAccepted;
@@ -127,40 +133,87 @@ PipelineResult parsynt::parallelizeLoop(const Loop &L,
     return Result;
   }
 
+  // Wall-clock budgets: the whole-loop deadline caps everything; each
+  // join-synthesis / lift call additionally gets its own per-phase budget.
+  const Deadline Overall = Deadline::after(Options.TimeoutSeconds);
+  auto joinDeadline = [&] {
+    return Deadline::sooner(Overall,
+                            Deadline::after(Options.JoinTimeoutSeconds));
+  };
+
   // Index-reading loops always need the materialized position accumulator;
   // it is part of "the original form is not parallelizable" in our
   // offset-free model (see DESIGN.md).
   Loop Original = materializeIndex(L);
   Result.IndexMaterialized = Original.Equations.size() > L.Equations.size();
   if (!verifyAt(Original, VerifyPhase::AfterNormalize, Options, Result)) {
+    // Our index rewrite corrupted an otherwise-verified input: fall back to
+    // executing the input loop as-is.
+    Result.Final = L;
+    Result.SequentialFallback = true;
     Result.TotalSeconds = secondsSince(StartTime);
     return Result;
   }
   if (Options.UseDependenceAnalysis)
     Result.Dependences = analyzeDependences(Original);
 
+  // Graceful degradation: on any failure below, hand back the verified
+  // (index-materialized) input with an empty join. InterpReduce executes an
+  // empty-join result sequentially and the C++ backend emits a sequential
+  // program, so the pipeline never returns nothing runnable.
+  auto failSequential = [&]() -> PipelineResult & {
+    Result.Success = false;
+    Result.Final = Original;
+    Result.Join.Success = false;
+    Result.Join.Components.clear();
+    Result.Join.FromFallback.clear();
+    Result.SequentialFallback = true;
+    Result.TotalSeconds = secondsSince(StartTime);
+    return Result;
+  };
+
   // Phase 1: join synthesis on the (index-materialized) original loop. The
   // empty-guard sketch extension stays off here so "parallelizable in
   // original form" means exactly the paper's C(E)+grammar space.
   JoinSynthOptions Phase1 = Options.Join;
   Phase1.AllowEmptyGuard = false;
-  Result.Join = runJoinSynthesis(Original, Phase1, Options, Result);
+  Result.Join = runJoinSynthesis(Original, Phase1, Options, Result,
+                                 joinDeadline());
   Loop Work = Original;
 
   if (!Result.Join.Success || !joinProven(Original, Result.Join)) {
+    // A timed-out phase 1 is not evidence that auxiliaries are required,
+    // and every lifted loop is strictly larger than the original — its
+    // join searches would time out too. Fail fast to honour the budget.
+    if (Result.Join.Failure.Kind == FailureKind::Timeout ||
+        Overall.expired()) {
+      Result.Failure =
+          Result.Join.Failure.Kind == FailureKind::Timeout
+              ? Result.Join.Failure
+              : FailureInfo{FailureKind::Timeout,
+                            "pipeline deadline expired after phase-1 join "
+                            "synthesis"};
+      return failSequential();
+    }
     Result.AuxRequired = true;
     if (!Options.TryLift) {
-      Result.TotalSeconds = secondsSince(StartTime);
       Result.Failure = Result.Join.Failure;
-      return Result;
+      return failSequential();
     }
 
     // Phase 2: lift, then re-synthesize; drop unjoinable conjectures.
     bool Solved = false;
     for (const auto &[Depth, Preference] : Options.LiftAttempts) {
+      if (Overall.expired()) {
+        Result.Failure = {FailureKind::Timeout,
+                          "pipeline deadline expired during lifting"};
+        break;
+      }
       LiftOptions LiftOpts = Options.Lift;
       LiftOpts.Unfoldings = Depth;
       LiftOpts.Preference = Preference;
+      LiftOpts.Timeout = Deadline::sooner(
+          Overall, Deadline::after(Options.LiftTimeoutSeconds));
       LiftResult Lift = liftLoop(L, LiftOpts);
       Result.LiftSeconds += Lift.Seconds;
       Result.Unresolved = Lift.Unresolved;
@@ -170,7 +223,8 @@ PipelineResult parsynt::parallelizeLoop(const Loop &L,
         continue; // skip a corrupt lift attempt, try the next one
 
       while (true) {
-        Result.Join = runJoinSynthesis(Work, Options.Join, Options, Result);
+        Result.Join = runJoinSynthesis(Work, Options.Join, Options, Result,
+                                       joinDeadline());
         if (Result.Join.Success) {
           if (joinProven(Work, Result.Join)) {
             Solved = true;
@@ -183,6 +237,8 @@ PipelineResult parsynt::parallelizeLoop(const Loop &L,
         }
         // If a conjectured auxiliary is itself unjoinable, it was an
         // artifact of the sampling-based collect step: drop it and retry.
+        // (A timed-out synthesis leaves FailedEquation empty, so timeouts
+        // never drop auxiliaries.)
         const std::string &Failed = Result.Join.FailedEquation;
         const Equation *FailedEq =
             Failed.empty() ? nullptr : Work.findEquation(Failed);
@@ -193,15 +249,22 @@ PipelineResult parsynt::parallelizeLoop(const Loop &L,
       }
       if (Solved)
         break;
+      // A join timeout on this lifted loop would repeat on every other
+      // attempt (same searches, same budget): stop retrying.
+      if (Result.Join.Failure.Kind == FailureKind::Timeout)
+        break;
     }
     if (!Solved) {
-      Result.Failure = Result.Join.Failure.empty()
-                           ? "lifting did not produce a joinable loop"
-                           : Result.Join.Failure;
-      Result.Final = Work;
+      if (Result.Failure.empty())
+        Result.Failure =
+            Result.Join.Failure.empty()
+                ? FailureInfo{FailureKind::NotHomomorphic,
+                              "lifting did not produce a joinable loop"}
+                : Result.Join.Failure;
+      // Keep the lifted loop's auxiliary figures for Table 1 even though
+      // the runnable fallback is the original loop.
       Result.AuxCount = Work.auxiliaryCount();
-      Result.TotalSeconds = secondsSince(StartTime);
-      return Result;
+      return failSequential();
     }
   } else {
     Result.AuxRequired = Result.IndexMaterialized;
@@ -215,11 +278,15 @@ PipelineResult parsynt::parallelizeLoop(const Loop &L,
       if (Eq.IsAuxiliary)
         AuxNames.push_back(Eq.Name);
     for (auto It = AuxNames.rbegin(); It != AuxNames.rend(); ++It) {
+      // Redundancy removal is an optimization: with the budget gone, keep
+      // the proven join we already have rather than failing.
+      if (Overall.expired())
+        break;
       Loop Candidate = Work;
       if (!removeEquation(Candidate, *It))
         continue;
       JoinResult Retry = runJoinSynthesis(Candidate, Options.Join, Options,
-                                          Result);
+                                          Result, joinDeadline());
       if (Retry.Success && joinProven(Candidate, Retry)) {
         Work = std::move(Candidate);
         Result.Join = std::move(Retry);
@@ -230,18 +297,13 @@ PipelineResult parsynt::parallelizeLoop(const Loop &L,
 
   // Final gate: the loop and its join must verify before we hand either to
   // code generation or report success.
-  if (!verifyAt(Work, VerifyPhase::BeforeCodegen, Options, Result)) {
-    Result.Final = std::move(Work);
-    Result.TotalSeconds = secondsSince(StartTime);
-    return Result;
-  }
+  if (!verifyAt(Work, VerifyPhase::BeforeCodegen, Options, Result))
+    return failSequential();
   if (Options.VerifyIR) {
     VerifierReport JoinReport = verifyJoin(Work, Result.Join.Components);
     if (!JoinReport.ok()) {
-      Result.Failure = JoinReport.str();
-      Result.Final = std::move(Work);
-      Result.TotalSeconds = secondsSince(StartTime);
-      return Result;
+      Result.Failure = {FailureKind::InternalError, JoinReport.str()};
+      return failSequential();
     }
   }
   if (Options.UseDependenceAnalysis)
@@ -278,6 +340,8 @@ std::string PipelineResult::report() const {
        << ", restricted-search retries: " << RestrictionRetries << "\n";
   if (!Failure.empty())
     OS << "  failure: " << Failure << "\n";
+  if (SequentialFallback)
+    OS << "  sequential fallback: loop remains runnable single-threaded\n";
   for (const std::string &Dropped : DroppedAux)
     OS << "  dropped: " << Dropped << "\n";
   for (const std::string &U : Unresolved)

@@ -52,6 +52,13 @@ struct PipelineOptions {
       {3, InitPreference::MaxFirst},
       {3, InitPreference::MinFirst},
       {4, InitPreference::ZeroFirst}};
+  /// Wall-clock budgets in seconds; 0 (the default) means unbounded. The
+  /// whole-loop budget caps everything; the per-phase budgets additionally
+  /// cap each join-synthesis / lift call, so a single runaway phase cannot
+  /// starve the rest of the pipeline.
+  double TimeoutSeconds = 0;     ///< whole parallelizeLoop call
+  double JoinTimeoutSeconds = 0; ///< each join-synthesis call
+  double LiftTimeoutSeconds = 0; ///< each lifting attempt
 };
 
 struct PipelineResult {
@@ -77,7 +84,14 @@ struct PipelineResult {
   double JoinSeconds = 0;  ///< total time in join synthesis
   double LiftSeconds = 0;  ///< total time in lifting
   double TotalSeconds = 0;
-  std::string Failure;
+  /// Structured failure (see support/Failure.h); empty on success.
+  FailureInfo Failure;
+  /// Graceful degradation: true when synthesis failed or timed out and
+  /// Final was reset to the verified (index-materialized) input loop with
+  /// an empty join — still executable sequentially by InterpReduce and
+  /// emittable by the C++ backend. The pipeline never returns nothing
+  /// runnable once the input passes frontend verification.
+  bool SequentialFallback = false;
 
   /// Multi-line human-readable summary (final loop + join).
   std::string report() const;

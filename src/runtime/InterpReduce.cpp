@@ -49,6 +49,11 @@ StateTuple parsynt::parallelRunLoop(const Loop &L,
                                     const SeqEnv &Seqs, TaskPool &Pool,
                                     size_t Grain, const Env &Params) {
   assert(!L.Sequences.empty() && "loop must read a sequence");
+  // An empty join is the pipeline's sequential-fallback signal (synthesis
+  // failed or timed out): run the loop single-threaded rather than crash
+  // on a join-arity mismatch.
+  if (Join.empty())
+    return runLoop(L, Seqs, Params);
   size_t Length = Seqs.at(L.Sequences.front().Name).size();
   if (Length == 0)
     return initialState(L, Params);

@@ -58,7 +58,8 @@ StateTuple applyJoinComponents(const Loop &L,
 /// Runs \p L over \p Seqs divide-and-conquer-style on \p Pool: leaves
 /// execute the loop body sequentially from the initial state; interior
 /// nodes apply \p Join. With grain >= |s| this degenerates to the
-/// sequential run.
+/// sequential run. An empty \p Join (the pipeline's sequential-fallback
+/// signal) runs the loop single-threaded without touching the pool.
 StateTuple parallelRunLoop(const Loop &L, const std::vector<ExprRef> &Join,
                            const SeqEnv &Seqs, TaskPool &Pool, size_t Grain,
                            const Env &Params = {});

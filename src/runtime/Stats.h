@@ -39,6 +39,8 @@ struct alignas(64) WorkerCounters {
   std::atomic<uint64_t> Stolen{0};    ///< successful steals from a victim
   std::atomic<uint64_t> StealFails{0};///< empty-handed victim probes
   std::atomic<uint64_t> Parks{0};     ///< times this worker blocked idle
+  std::atomic<uint64_t> Inlined{0};   ///< spawns degraded to inline calls
+                                      ///< (task-node allocation failed)
 
   void bump(std::atomic<uint64_t> WorkerCounters::*Field) {
     (this->*Field).fetch_add(1, std::memory_order_relaxed);
@@ -67,6 +69,7 @@ struct ReduceTimings {
 /// A plain-value copy of one worker's counters.
 struct WorkerStatsRow {
   uint64_t Spawned = 0, Executed = 0, Stolen = 0, StealFails = 0, Parks = 0;
+  uint64_t Inlined = 0;
 
   WorkerStatsRow &operator+=(const WorkerStatsRow &O) {
     Spawned += O.Spawned;
@@ -74,6 +77,7 @@ struct WorkerStatsRow {
     Stolen += O.Stolen;
     StealFails += O.StealFails;
     Parks += O.Parks;
+    Inlined += O.Inlined;
     return *this;
   }
 };
@@ -97,6 +101,11 @@ struct StatsSnapshot {
                   (unsigned long long)Total.StealFails,
                   (unsigned long long)Total.Parks);
     std::string S = Buf;
+    if (Total.Inlined) { // only under injected allocation failure
+      std::snprintf(Buf, sizeof(Buf), " inlined=%llu",
+                    (unsigned long long)Total.Inlined);
+      S += Buf;
+    }
     if (TimingEnabled && (LeafCount || JoinCount)) {
       std::snprintf(Buf, sizeof(Buf),
                     " leaves=%llu (%.2f ms) joins=%llu (%.3f ms)",
@@ -111,9 +120,9 @@ struct StatsSnapshot {
   std::string table() const {
     std::string S;
     char Buf[256];
-    std::snprintf(Buf, sizeof(Buf), "%-8s %10s %10s %10s %12s %8s\n",
+    std::snprintf(Buf, sizeof(Buf), "%-8s %10s %10s %10s %12s %8s %8s\n",
                   "worker", "spawned", "executed", "stolen", "steal-fails",
-                  "parks");
+                  "parks", "inlined");
     S += Buf;
     for (size_t I = 0; I != Workers.size(); ++I) {
       const WorkerStatsRow &W = Workers[I];
@@ -126,20 +135,23 @@ struct StatsSnapshot {
       if (I != 0 && I + 1 == Workers.size() && !ExternalRow)
         Label = "w" + std::to_string(I);
       std::snprintf(Buf, sizeof(Buf),
-                    "%-8s %10llu %10llu %10llu %12llu %8llu\n", Label.c_str(),
-                    (unsigned long long)W.Spawned,
+                    "%-8s %10llu %10llu %10llu %12llu %8llu %8llu\n",
+                    Label.c_str(), (unsigned long long)W.Spawned,
                     (unsigned long long)W.Executed,
                     (unsigned long long)W.Stolen,
                     (unsigned long long)W.StealFails,
-                    (unsigned long long)W.Parks);
+                    (unsigned long long)W.Parks,
+                    (unsigned long long)W.Inlined);
       S += Buf;
     }
-    std::snprintf(Buf, sizeof(Buf), "%-8s %10llu %10llu %10llu %12llu %8llu\n",
-                  "total", (unsigned long long)Total.Spawned,
+    std::snprintf(Buf, sizeof(Buf),
+                  "%-8s %10llu %10llu %10llu %12llu %8llu %8llu\n", "total",
+                  (unsigned long long)Total.Spawned,
                   (unsigned long long)Total.Executed,
                   (unsigned long long)Total.Stolen,
                   (unsigned long long)Total.StealFails,
-                  (unsigned long long)Total.Parks);
+                  (unsigned long long)Total.Parks,
+                  (unsigned long long)Total.Inlined);
     S += Buf;
     if (TimingEnabled) {
       std::snprintf(Buf, sizeof(Buf),

@@ -34,9 +34,11 @@
 #define PARSYNT_RUNTIME_TASKPOOL_H
 
 #include "runtime/Stats.h"
+#include "support/FaultInjector.h"
 
 #include <atomic>
 #include <cassert>
+#include <chrono>
 #include <condition_variable>
 #include <cstddef>
 #include <cstdint>
@@ -281,6 +283,18 @@ public:
     Group.incr();
     int S = mySlot();
     detail::TaskNode *T = allocTask(S);
+    if (!T) {
+      // Allocation failed (injected via "pool.alloc", or genuine
+      // std::nothrow exhaustion): degrade to an inline call. Fork-join
+      // semantics permit eager execution of a spawned task; only the
+      // available parallelism shrinks.
+      counters(S).bump(&WorkerCounters::Spawned);
+      counters(S).bump(&WorkerCounters::Inlined);
+      F();
+      if (Group.done())
+        wakeAll();
+      return;
+    }
     T->bind(Group, std::forward<Fn>(F));
     counters(S).bump(&WorkerCounters::Spawned);
     if (S >= 0) {
@@ -344,13 +358,14 @@ public:
       R.Stolen = C.Stolen.load(std::memory_order_relaxed);
       R.StealFails = C.StealFails.load(std::memory_order_relaxed);
       R.Parks = C.Parks.load(std::memory_order_relaxed);
+      R.Inlined = C.Inlined.load(std::memory_order_relaxed);
       return R;
     };
     for (unsigned I = 0; I != NumThreads; ++I)
       Snap.Workers.push_back(Row(Slots[I].Counters));
     WorkerStatsRow Ext = Row(*ExternalCounters);
     if (Ext.Spawned || Ext.Executed || Ext.Stolen || Ext.StealFails ||
-        Ext.Parks) {
+        Ext.Parks || Ext.Inlined) {
       Snap.Workers.push_back(Ext);
       Snap.ExternalRow = true;
     }
@@ -427,14 +442,18 @@ private:
     return S >= 0 ? Slots[S].Counters : *ExternalCounters;
   }
 
+  /// May return null: under the "pool.alloc" fault point (or genuine
+  /// memory exhaustion) the caller degrades the spawn to an inline call.
   detail::TaskNode *allocTask(int S) {
+    if (FaultInjector::fires("pool.alloc"))
+      return nullptr;
     if (S >= 0 && Slots[S].FreeList) {
       detail::TaskNode *T = Slots[S].FreeList;
       Slots[S].FreeList = T->NextFree;
       --Slots[S].FreeCount;
       return T;
     }
-    return new detail::TaskNode();
+    return new (std::nothrow) detail::TaskNode();
   }
 
   void freeTask(detail::TaskNode *T, int S) {
@@ -459,6 +478,14 @@ private:
   /// One randomized sweep over the other workers' deques plus the
   /// injection queue. Returns null when everything looked empty.
   detail::TaskNode *trySteal(int S, uint64_t &Rng) {
+    // Injected steal failure ("pool.steal"): report empty-handed without
+    // probing any victim. Live-safe — a thwarted thief that parks rechecks
+    // anyDequeWork() under the lock, so pending work still gets claimed
+    // (though specs without a limit/every>1 clause can spin a thief).
+    if (FaultInjector::fires("pool.steal")) {
+      counters(S).bump(&WorkerCounters::StealFails);
+      return nullptr;
+    }
     // xorshift64*
     auto Next = [&Rng] {
       Rng ^= Rng >> 12;
@@ -511,7 +538,10 @@ private:
     Sleepers.fetch_add(1, std::memory_order_seq_cst);
     if (!Done() && !anyDequeWork() && !ShuttingDown) {
       counters(S).bump(&WorkerCounters::Parks);
-      IdleCv.wait(Lock);
+      if (FaultInjector::fires("pool.wakeup"))
+        IdleCv.wait_for(Lock, std::chrono::microseconds(100));
+      else
+        IdleCv.wait(Lock);
     }
     Sleepers.fetch_sub(1, std::memory_order_relaxed);
   }
@@ -549,7 +579,12 @@ private:
         Sleepers.fetch_add(1, std::memory_order_seq_cst);
         if (!anyDequeWork() && !ShuttingDown) {
           Slots[Index].Counters.bump(&WorkerCounters::Parks);
-          IdleCv.wait(Lock);
+          // "pool.wakeup" simulates a spurious wakeup: the wait returns
+          // without a notification and the loop re-scans for work.
+          if (FaultInjector::fires("pool.wakeup"))
+            IdleCv.wait_for(Lock, std::chrono::microseconds(100));
+          else
+            IdleCv.wait(Lock);
         }
         Sleepers.fetch_sub(1, std::memory_order_relaxed);
         if (ShuttingDown && !anyDequeWork())
@@ -564,6 +599,7 @@ private:
     C.Stolen.store(0, std::memory_order_relaxed);
     C.StealFails.store(0, std::memory_order_relaxed);
     C.Parks.store(0, std::memory_order_relaxed);
+    C.Inlined.store(0, std::memory_order_relaxed);
   }
 
   unsigned NumThreads;

@@ -1,0 +1,98 @@
+//===- support/Deadline.h - Cooperative cancellation token ------*- C++ -*-===//
+//
+// Part of Parsynt-CXX, a reproduction of "Synthesis of Divide and Conquer
+// Parallelism for Loops" (PLDI 2017).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A wall-clock deadline as a copyable value-type cancellation token. The
+/// synthesis searches (join enumeration, CEGIS, lifting) are unbounded in
+/// the worst case; each loop that can run long polls `expired()` at its
+/// iteration boundary and unwinds with a structured Timeout failure when
+/// the budget is gone. An unarmed (default) deadline never expires and
+/// costs one branch per poll, so the default configuration behaves exactly
+/// like the un-deadlined code.
+///
+/// Deadlines compose with `sooner()`: the pipeline caps each phase's
+/// per-phase budget by the whole-loop budget, and hands the combined token
+/// down — callees never need to know how many budgets are stacked above
+/// them.
+///
+/// The `deadline.expire` fault point (support/FaultInjector.h) can force
+/// any poll to report expiry, which makes every timeout-handling path
+/// testable without tuning real clocks.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PARSYNT_SUPPORT_DEADLINE_H
+#define PARSYNT_SUPPORT_DEADLINE_H
+
+#include "support/FaultInjector.h"
+
+#include <chrono>
+#include <limits>
+
+namespace parsynt {
+
+class Deadline {
+  using Clock = std::chrono::steady_clock;
+
+public:
+  /// Unarmed: never expires.
+  Deadline() = default;
+
+  /// A deadline \p Seconds from now. Non-positive \p Seconds (the "0 means
+  /// unbounded" convention of the pipeline options) yields an unarmed
+  /// deadline.
+  static Deadline after(double Seconds) {
+    Deadline D;
+    if (Seconds > 0) {
+      D.IsArmed = true;
+      D.At = Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                                std::chrono::duration<double>(Seconds));
+    }
+    return D;
+  }
+
+  static Deadline never() { return {}; }
+
+  bool armed() const { return IsArmed; }
+
+  /// Polls the deadline. Cheap enough for inner search loops (one clock
+  /// read when armed, one branch plus the fault-injector fast path when
+  /// not).
+  bool expired() const {
+    if (FaultInjector::fires("deadline.expire"))
+      return true;
+    return IsArmed && Clock::now() >= At;
+  }
+
+  /// Seconds until expiry; +infinity when unarmed, clamped at 0 after
+  /// expiry.
+  double remainingSeconds() const {
+    if (!IsArmed)
+      return std::numeric_limits<double>::infinity();
+    double S = std::chrono::duration<double>(At - Clock::now()).count();
+    return S < 0 ? 0 : S;
+  }
+
+  /// The earlier of two deadlines (unarmed counts as "later than
+  /// everything"). Used to stack per-phase budgets under the whole-loop
+  /// budget.
+  static Deadline sooner(const Deadline &A, const Deadline &B) {
+    if (!A.IsArmed)
+      return B;
+    if (!B.IsArmed)
+      return A;
+    return A.At <= B.At ? A : B;
+  }
+
+private:
+  Clock::time_point At{};
+  bool IsArmed = false;
+};
+
+} // namespace parsynt
+
+#endif // PARSYNT_SUPPORT_DEADLINE_H

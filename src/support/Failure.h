@@ -1,0 +1,92 @@
+//===- support/Failure.h - Structured failure taxonomy ----------*- C++ -*-===//
+//
+// Part of Parsynt-CXX, a reproduction of "Synthesis of Divide and Conquer
+// Parallelism for Loops" (PLDI 2017).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The structured failure taxonomy shared by the synthesis pipeline. Every
+/// phase that can fail (join synthesis, lifting, verification, the whole
+/// pipeline) reports a FailureInfo — a kind from the closed taxonomy plus a
+/// human-readable message — instead of a free-text string, so drivers can
+/// branch on *why* something failed (e.g. the CLI maps Timeout to its own
+/// exit code, and the pipeline falls back to sequential execution).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PARSYNT_SUPPORT_FAILURE_H
+#define PARSYNT_SUPPORT_FAILURE_H
+
+#include <ostream>
+#include <string>
+#include <utility>
+
+namespace parsynt {
+
+/// Why a phase (or the whole pipeline) failed.
+enum class FailureKind {
+  None,              ///< no failure
+  Timeout,           ///< a wall-clock deadline expired (see Deadline.h)
+  BudgetExhausted,   ///< a count budget ran out (CEGIS rounds, candidate
+                     ///< products, expression-size ceilings)
+  NotHomomorphic,    ///< no join exists in the searched space — the
+                     ///< evidence that a loop needs lifting, or that
+                     ///< lifting did not make it joinable
+  FragmentViolation, ///< the input program is outside the supported
+                     ///< fragment (frontend verifier / linter)
+  InternalError,     ///< an invariant we own was violated (late-phase
+                     ///< verifier failures, corrupt IR after lifting)
+};
+
+inline const char *failureKindName(FailureKind K) {
+  switch (K) {
+  case FailureKind::None:
+    return "none";
+  case FailureKind::Timeout:
+    return "timeout";
+  case FailureKind::BudgetExhausted:
+    return "budget-exhausted";
+  case FailureKind::NotHomomorphic:
+    return "not-homomorphic";
+  case FailureKind::FragmentViolation:
+    return "fragment-violation";
+  case FailureKind::InternalError:
+    return "internal-error";
+  }
+  return "unknown";
+}
+
+/// A structured failure: taxonomy kind plus message. Default-constructed
+/// means "no failure".
+struct FailureInfo {
+  FailureKind Kind = FailureKind::None;
+  std::string Message;
+
+  FailureInfo() = default;
+  FailureInfo(FailureKind Kind, std::string Message)
+      : Kind(Kind), Message(std::move(Message)) {}
+
+  bool empty() const { return Kind == FailureKind::None && Message.empty(); }
+  explicit operator bool() const { return !empty(); }
+
+  void clear() {
+    Kind = FailureKind::None;
+    Message.clear();
+  }
+
+  /// "[kind] message" (just the message when no kind was classified).
+  std::string str() const {
+    if (Kind == FailureKind::None)
+      return Message;
+    return std::string("[") + failureKindName(Kind) + "] " + Message;
+  }
+};
+
+inline std::ostream &operator<<(std::ostream &OS, const FailureInfo &F) {
+  return OS << F.str();
+}
+
+} // namespace parsynt
+
+#endif // PARSYNT_SUPPORT_FAILURE_H

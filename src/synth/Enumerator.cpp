@@ -133,8 +133,15 @@ void Enumerator::run() {
     insertWithValues(binary(Op, Bools[I].E, Bools[J].E), std::move(Values));
   };
 
+  // Cooperative cancellation: an early return leaves BuiltSize at the last
+  // fully-built size, so the pool stays usable (and resumable) with every
+  // size completed so far.
+  const Deadline &DL = Options.Timeout;
+
   for (unsigned Size = std::max(2u, BuiltSize + 1); Size <= Options.MaxSize;
        ++Size) {
+    if (DL.expired())
+      return;
     // Unary: operand of size Size-1.
     if (const auto *Ops = bucket(IntBySize, Size - 1)) {
       // Copy: insertions extend the pool (into this size's bucket, which we
@@ -166,6 +173,8 @@ void Enumerator::run() {
       if (IntsA && IntsB) {
         std::vector<size_t> FixedA = *IntsA, FixedB = *IntsB;
         for (size_t I : FixedA) {
+          if (DL.expired())
+            return;
           for (size_t J : FixedB) {
             combineInts(BinaryOp::Add, I, J);
             combineInts(BinaryOp::Sub, I, J);
@@ -211,6 +220,8 @@ void Enumerator::run() {
           if (Thens && Elses) {
             std::vector<size_t> FixedT = *Thens, FixedE = *Elses;
             for (size_t C : FixedC) {
+              if (DL.expired())
+                return;
               for (size_t I : FixedT) {
                 for (size_t J : FixedE) {
                   std::vector<Value> Values(NumTests);
@@ -229,6 +240,8 @@ void Enumerator::run() {
           if (BThens && BElses) {
             std::vector<size_t> FixedT = *BThens, FixedE = *BElses;
             for (size_t C : FixedC) {
+              if (DL.expired())
+                return;
               for (size_t I : FixedT) {
                 for (size_t J : FixedE) {
                   std::vector<Value> Values(NumTests);

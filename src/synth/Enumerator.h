@@ -24,6 +24,7 @@
 
 #include "interp/Interp.h"
 #include "ir/Expr.h"
+#include "support/Deadline.h"
 
 #include <unordered_map>
 #include <vector>
@@ -46,6 +47,9 @@ struct EnumeratorOptions {
   bool EnableIte = true;
   /// Whether to build * and / terms (rarely useful, often noisy).
   bool EnableMulDiv = true;
+  /// Cooperative cancellation: run() stops early (keeping what was built)
+  /// once this expires. Unarmed by default.
+  Deadline Timeout;
 };
 
 /// Bottom-up enumerator over a fixed set of test environments.
@@ -59,6 +63,8 @@ public:
 
   /// Builds all candidates of size <= Options.MaxSize. Safe to call again
   /// after raising MaxSize via options(); already-built sizes are kept.
+  /// Stops early when Options.Timeout expires: the pool stays usable with
+  /// whatever sizes were completed.
   void run();
 
   const std::vector<Candidate> &candidates(Type Ty) const {

@@ -132,7 +132,12 @@ void HomOracle::buildInitialTests() {
   };
 
   Env P0 = ParamDraws.empty() ? Env() : ParamDraws.front();
+  // Stopping the test-set build early on deadline expiry is sound: the
+  // bounded specification just gets weaker, and accepted joins still face
+  // the CEGIS re-validation and the proof gate.
   for (const auto &LeftChunk : Chunks) {
+    if (Options.Timeout.expired())
+      break;
     for (const auto &RightChunk : Chunks) {
       if (Tests.size() >= Options.MaxTests)
         break;
@@ -141,11 +146,16 @@ void HomOracle::buildInitialTests() {
     }
   }
 
+  if (Options.Timeout.expired())
+    return;
+
   // Random phase: longer chunks, full pool, varied parameters, and (for
   // multi-sequence loops) per-sequence independent contents.
   for (unsigned T = 0; T != Options.RandomTests && Tests.size() <
                                                        Options.MaxTests;
        ++T) {
+    if (Options.Timeout.expired())
+      return;
     Env P = ParamDraws.empty() ? Env()
                                : ParamDraws[R.index(ParamDraws.size())];
     // Alternate the diffuse and the focused pool; focused draws use longer
@@ -213,6 +223,11 @@ HomOracle::findCounterexample(const std::vector<ExprRef> &Join,
   Wide.push_back(-23);
   Wide.push_back(100);
   for (unsigned Round = 0; Round != Rounds; ++Round) {
+    // Deadline expiry returns "no counterexample found"; callers that care
+    // about the distinction re-check expired() — a timed-out validation
+    // must never be read as a passed one.
+    if (Options.Timeout.expired())
+      return std::nullopt;
     unsigned MaxLen = 1 + Round % 12;
     JoinExample Example =
         randomExample(MaxLen, Round % 2 ? Focused : Wide, R);

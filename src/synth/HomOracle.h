@@ -21,6 +21,7 @@
 
 #include "interp/Interp.h"
 #include "ir/Loop.h"
+#include "support/Deadline.h"
 #include "support/Random.h"
 
 #include <optional>
@@ -52,6 +53,10 @@ struct OracleOptions {
   /// Cap on the initial test count.
   size_t MaxTests = 300;
   uint64_t Seed = 0x5eed;
+  /// Cooperative cancellation: test-set construction and counterexample
+  /// search stop early when this expires (fewer tests is sound — the
+  /// bounded spec just gets weaker and the proof gate still decides).
+  Deadline Timeout;
 };
 
 /// Builds and extends the test set, and verifies candidate joins.

@@ -8,6 +8,7 @@
 #include "synth/JoinSynth.h"
 #include "ir/ExprOps.h"
 #include "normalize/Simplify.h"
+#include "support/FaultInjector.h"
 #include "synth/Enumerator.h"
 #include "synth/Sketch.h"
 
@@ -64,10 +65,10 @@ class SketchSearch {
 public:
   SketchSearch(const Sketch &S, std::vector<HolePool> Pools,
                const HomOracle &Oracle, size_t EquationIndex,
-               uint64_t Budget, uint64_t &TotalTried)
+               uint64_t Budget, uint64_t &TotalTried, Deadline DL)
       : S(S), Pools(std::move(Pools)), Oracle(Oracle),
         EquationIndex(EquationIndex), Budget(Budget),
-        TotalTried(TotalTried) {
+        TotalTried(TotalTried), DL(DL) {
     // Pre-build one mutable environment per test with hole slots installed;
     // assignments overwrite the slots in place.
     for (const JoinExample &Example : Oracle.tests()) {
@@ -109,6 +110,10 @@ private:
   ExprRef assign(size_t HoleIdx, unsigned Remaining) {
     if (Tried >= Budget)
       return nullptr;
+    // Deadline poll amortized over ~256 assignments; an expired search
+    // reads as "not found" and the caller classifies via expired().
+    if ((Tried & 255u) == 255u && DL.expired())
+      return nullptr;
     const HolePool &Pool = Pools[HoleIdx];
     bool Last = HoleIdx + 1 == Pools.size();
     unsigned MinRest = 0;
@@ -145,7 +150,9 @@ private:
       if (evalExpr(S.Body, Envs[T]) != Tests[T].Expected[EquationIndex])
         return false;
     }
-    return true;
+    // Fault point: force rejection of an otherwise-accepted candidate to
+    // exercise the search's failure tail (PARSYNT_FAULT=synth.reject).
+    return !FaultInjector::fires("synth.reject");
   }
 
   ExprRef materialize() const {
@@ -161,6 +168,7 @@ private:
   size_t EquationIndex;
   uint64_t Budget;
   uint64_t &TotalTried;
+  Deadline DL;
   /// Per-search counter; Budget bounds each search independently, while
   /// TotalTried accumulates across searches for the statistics.
   uint64_t Tried = 0;
@@ -178,7 +186,13 @@ JoinResult parsynt::synthesizeJoin(const Loop &L,
   Result.Components.resize(L.Equations.size());
   Result.FromFallback.assign(L.Equations.size(), false);
 
-  HomOracle Oracle(L, Options.Oracle);
+  // One combined deadline governs the oracle, the enumerators, and every
+  // search below; unarmed inputs reproduce the un-deadlined search exactly.
+  const Deadline DL = Deadline::sooner(Options.Timeout, Options.Oracle.Timeout);
+  OracleOptions OracleOpts = Options.Oracle;
+  OracleOpts.Timeout = DL;
+
+  HomOracle Oracle(L, OracleOpts);
   std::vector<int64_t> Constants = joinConstants(L);
 
   for (unsigned Round = 0; Round <= Options.CegisRounds; ++Round) {
@@ -208,15 +222,18 @@ JoinResult parsynt::synthesizeJoin(const Loop &L,
     struct PoolGroup {
       Enumerator ELR;
       Enumerator ER;
-      PoolGroup(const std::vector<Env> &Envs, unsigned MaxLR, unsigned MaxR)
+      PoolGroup(const std::vector<Env> &Envs, unsigned MaxLR, unsigned MaxR,
+                const Deadline &DL)
           : ELR(Envs, [&] {
               EnumeratorOptions O;
               O.MaxSize = MaxLR;
+              O.Timeout = DL;
               return O;
             }()),
             ER(Envs, [&] {
               EnumeratorOptions O;
               O.MaxSize = MaxR;
+              O.Timeout = DL;
               return O;
             }()) {}
     };
@@ -232,7 +249,7 @@ JoinResult parsynt::synthesizeJoin(const Loop &L,
       auto It = Groups.find(Key);
       if (It != Groups.end())
         return *It->second;
-      auto G = std::make_unique<PoolGroup>(CombEnvs, MaxLR, MaxR);
+      auto G = std::make_unique<PoolGroup>(CombEnvs, MaxLR, MaxR, DL);
       for (const Equation &Eq : L.Equations) {
         if (Allowed && !Allowed->count(Eq.Name))
           continue;
@@ -270,6 +287,15 @@ JoinResult parsynt::synthesizeJoin(const Loop &L,
       ExprRef Component;
       bool Fallback = false;
 
+      if (DL.expired()) {
+        AllSolved = false;
+        Result.Failure = {FailureKind::Timeout,
+                          "join synthesis deadline expired before solving "
+                          "state variable '" +
+                              Eq.Name + "'"};
+        break;
+      }
+
       // Trivially-homomorphic variables: accept the dependence-analysis
       // seed without searching if it matches every current test. (CEGIS
       // still validates the assembled join on fresh inputs, so a wrong
@@ -281,7 +307,9 @@ JoinResult parsynt::synthesizeJoin(const Loop &L,
         for (size_t T = 0; T != Tests.size() && Matches; ++T)
           Matches = evalExpr(SeedIt->second, CombEnvs[T]) ==
                     Tests[T].Expected[I];
-        if (Matches) {
+        // Fault point: refuse a matching seed so the equation exercises the
+        // full search path (PARSYNT_FAULT=synth.reject).
+        if (Matches && !FaultInjector::fires("synth.reject")) {
           Component = SeedIt->second;
           ++Result.Stats.SeedsAccepted;
           Result.Components[I] = Component;
@@ -315,9 +343,11 @@ JoinResult parsynt::synthesizeJoin(const Loop &L,
                                           : makePool(ELR, H.Ty, SizeLR));
             SketchSearch Search(S, std::move(Pools), Oracle, I,
                                 Options.ProductBudget,
-                                Result.Stats.SketchAssignmentsTried);
+                                Result.Stats.SketchAssignmentsTried, DL);
             if (ExprRef F = Search.run(std::max(SizeLR, SizeR)))
               return F;
+            if (DL.expired())
+              return nullptr;
           }
           return nullptr;
         };
@@ -364,8 +394,12 @@ JoinResult parsynt::synthesizeJoin(const Loop &L,
           for (const JoinExample &Example : Oracle.tests())
             Target.push_back(Example.Expected[I]);
           if (const Candidate *C = ELR.findMatching(Eq.Ty, Target)) {
-            Found = C->E;
-            Fallback = true;
+            // Fault point: reject the free-grammar match
+            // (PARSYNT_FAULT=synth.reject).
+            if (!FaultInjector::fires("synth.reject")) {
+              Found = C->E;
+              Fallback = true;
+            }
           }
         }
         return Found;
@@ -431,9 +465,9 @@ JoinResult parsynt::synthesizeJoin(const Loop &L,
             }
             SketchSearch Search(Guarded, std::move(Pools), Oracle, I,
                                 Options.ProductBudget,
-                                Result.Stats.SketchAssignmentsTried);
+                                Result.Stats.SketchAssignmentsTried, DL);
             Component = Search.run(std::max({SizeLR, SizeR, 3u}));
-            if (Component)
+            if (Component || DL.expired())
               break;
           }
         }
@@ -441,9 +475,20 @@ JoinResult parsynt::synthesizeJoin(const Loop &L,
 
       if (!Component) {
         AllSolved = false;
-        Result.Failure = "no join component found for state variable '" +
-                         Eq.Name + "'";
-        Result.FailedEquation = Eq.Name;
+        if (DL.expired()) {
+          // FailedEquation stays empty: a timed-out equation is not
+          // evidence of an unjoinable auxiliary, so the pipeline must not
+          // drop it.
+          Result.Failure = {FailureKind::Timeout,
+                            "join synthesis deadline expired while solving "
+                            "state variable '" +
+                                Eq.Name + "'"};
+        } else {
+          Result.Failure = {FailureKind::NotHomomorphic,
+                            "no join component found for state variable '" +
+                                Eq.Name + "'"};
+          Result.FailedEquation = Eq.Name;
+        }
         break;
       }
       Result.Components[I] = Component;
@@ -459,13 +504,42 @@ JoinResult parsynt::synthesizeJoin(const Loop &L,
     auto Cex = Oracle.findCounterexample(Result.Components,
                                          Options.VerifyRounds);
     if (!Cex) {
+      // Soundness: a timed-out validation also reports "no counterexample
+      // found" — never promote that to Success.
+      if (DL.expired()) {
+        Result.Success = false;
+        Result.Failure = {FailureKind::Timeout,
+                          "join synthesis deadline expired during CEGIS "
+                          "validation of the assembled join"};
+        break;
+      }
       Result.Success = true;
       Result.Failure.clear();
       break;
     }
     if (Round == Options.CegisRounds) {
       Result.Success = false;
-      Result.Failure = "CEGIS budget exhausted";
+      // Name the still-disagreeing equation: evaluate each component on the
+      // final counterexample, like the per-variable failure path does.
+      std::string Culprit;
+      Env CexEnv = Oracle.combinedEnv(*Cex);
+      for (size_t I = 0; I != Result.Components.size(); ++I) {
+        if (Result.Components[I] &&
+            evalExpr(Result.Components[I], CexEnv) != Cex->Expected[I]) {
+          Culprit = L.Equations[I].Name;
+          break;
+        }
+      }
+      std::ostringstream OS;
+      OS << "CEGIS budget exhausted after " << Options.CegisRounds
+         << " rounds";
+      if (!Culprit.empty())
+        OS << ": the join component for state variable '" << Culprit
+           << "' still disagrees with a fresh counterexample";
+      OS << " (" << Result.Stats.SketchAssignmentsTried
+         << " sketch assignments tried, budget " << Options.ProductBudget
+         << " per search, " << Oracle.tests().size() << " tests)";
+      Result.Failure = {FailureKind::BudgetExhausted, OS.str()};
       break;
     }
     Oracle.addTest(std::move(*Cex));

@@ -23,6 +23,7 @@
 #define PARSYNT_SYNTH_JOINSYNTH_H
 
 #include "synth/HomOracle.h"
+#include "support/Failure.h"
 
 #include <map>
 #include <set>
@@ -74,6 +75,9 @@ struct JoinSynthOptions {
   /// Dependence-derived ordering, seeds, and variable restrictions.
   JoinGuidance Guidance;
   OracleOptions Oracle;
+  /// Cooperative cancellation for the whole synthesis call (also handed to
+  /// the oracle). On expiry the search unwinds with a Timeout failure.
+  Deadline Timeout;
 };
 
 /// Statistics for Table 1 and the ablation benches.
@@ -98,10 +102,11 @@ struct JoinResult {
   std::vector<ExprRef> Components;
   std::vector<bool> FromFallback; ///< per equation: free grammar used
   JoinStats Stats;
-  std::string Failure;
+  /// Structured failure (NotHomomorphic / BudgetExhausted / Timeout).
+  FailureInfo Failure;
   /// Name of the first state variable no component was found for (empty on
-  /// success or CEGIS exhaustion). The pipeline uses this to drop unjoinable
-  /// junk auxiliaries.
+  /// success, CEGIS exhaustion, or timeout). The pipeline uses this to drop
+  /// unjoinable junk auxiliaries.
   std::string FailedEquation;
 };
 

@@ -9,6 +9,7 @@
 #include "runtime/InterpReduce.h"
 #include "runtime/ParallelReduce.h"
 #include "suite/Benchmarks.h"
+#include "support/FaultInjector.h"
 #include "TestUtil.h"
 
 #include <gtest/gtest.h>
@@ -331,6 +332,89 @@ TEST(InterpReduce, EmptyInput) {
   Seqs["s"] = {};
   StateTuple S = parallelRunLoop(L, Join, Seqs, Pool, 16);
   EXPECT_EQ(S[0].asInt(), 0);
+}
+
+TEST(InterpReduce, EmptyJoinRunsSequentially) {
+  // An empty join vector is the pipeline's sequential-fallback signal: the
+  // run must match the plain interpreter instead of asserting on arity.
+  Loop L = mustParse("sum = 0;\n"
+                     "for (i = 0; i < |s|; i++) { sum = sum + s[i]; }");
+  TaskPool Pool(2);
+  SeqEnv Seqs;
+  Seqs["s"] = {Value::ofInt(3), Value::ofInt(-1), Value::ofInt(7)};
+  StateTuple S = parallelRunLoop(L, {}, Seqs, Pool, 1);
+  EXPECT_EQ(S, runLoop(L, Seqs));
+}
+
+// Fault-injected scheduler runs. Each FaultScope is declared before the
+// pool so its lifetime brackets every worker thread (configure/reset must
+// not race active polls), and each spec bounds its faults (a limit or a
+// sparse `every`) so the schedule stays live. These are part of the TSan
+// CI sweep — the injected paths must be as race-free as the clean ones.
+
+TEST(TaskPool, FaultInjectedStealFailure) {
+  FaultScope Scope("pool.steal:every=3:limit=500");
+  TaskPool Pool(4);
+  std::atomic<int> Counter{0};
+  TaskGroup Group;
+  for (int I = 0; I != 1000; ++I)
+    Pool.spawn(Group, [&] { Counter.fetch_add(1); });
+  Pool.wait(Group);
+  EXPECT_EQ(Counter.load(), 1000);
+  EXPECT_GE(Pool.statsSnapshot().Total.StealFails,
+            FaultInjector::instance().fireCount("pool.steal"));
+}
+
+TEST(TaskPool, FaultInjectedAllocationFailure) {
+  FaultScope Scope("pool.alloc:every=2");
+  TaskPool Pool(4);
+  std::atomic<int> Counter{0};
+  TaskGroup Group;
+  for (int I = 0; I != 200; ++I)
+    Pool.spawn(Group, [&] { Counter.fetch_add(1); });
+  Pool.wait(Group);
+  EXPECT_EQ(Counter.load(), 200);
+  // Half the spawns degraded to inline calls — and still all ran.
+  StatsSnapshot Snap = Pool.statsSnapshot();
+  EXPECT_EQ(Snap.Total.Inlined, 100u);
+  EXPECT_EQ(Snap.Total.Spawned, 200u);
+  EXPECT_EQ(Snap.Total.Executed, 100u); // the non-inlined half
+}
+
+TEST(TaskPool, FaultInjectedSpuriousWakeups) {
+  FaultScope Scope("pool.wakeup:every=2");
+  TaskPool Pool(4);
+  // Recursive fine-grain reduce maximizes park/wake traffic under the
+  // injected timed waits.
+  const size_t N = 300;
+  int64_t Sum = parallelReduce<int64_t>(
+      BlockedRange{0, N, 1}, Pool,
+      [](size_t B, size_t E) {
+        int64_t S = 0;
+        for (size_t I = B; I != E; ++I)
+          S += static_cast<int64_t>(I);
+        return S;
+      },
+      [](const int64_t &A, const int64_t &B) { return A + B; });
+  EXPECT_EQ(Sum, static_cast<int64_t>(N * (N - 1) / 2));
+}
+
+TEST(TaskPool, FaultInjectedCombinedChaos) {
+  FaultScope Scope(
+      "pool.steal:every=5:limit=200,pool.wakeup:every=3,pool.alloc:every=7");
+  TaskPool Pool(3);
+  std::atomic<int> Counter{0};
+  TaskGroup Outer;
+  for (int I = 0; I != 16; ++I) {
+    Pool.spawn(Outer, [&] {
+      TaskGroup Inner;
+      for (int J = 0; J != 16; ++J)
+        Pool.spawn(Inner, [&] { Counter.fetch_add(1); });
+      Pool.wait(Inner);
+    });
+  }
+  Pool.wait(Outer);
+  EXPECT_EQ(Counter.load(), 256);
 }
 
 } // namespace

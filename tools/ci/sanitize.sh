@@ -18,6 +18,31 @@ cd "$(dirname "$0")/../.."
 PREFIX="${1:-build-sanitize}"
 JOBS="$(nproc 2>/dev/null || echo 4)"
 
+# Chaos smoke: run the Table-1 suite under a starvation deadline and the
+# CLI under injected synthesizer/runtime faults. Graceful exits only —
+# 0 (solved inside the budget), 1 (structured synthesis failure), or
+# 3 (structured timeout); crashes, sanitizer aborts, and any other code
+# fail the sweep.
+chaos_smoke() {
+  local bin="$1" rc b
+  for b in $("${bin}" --list | awk '{print $1}'); do
+    rc=0
+    "${bin}" --benchmark "${b}" --join-timeout 1ms >/dev/null 2>&1 || rc=$?
+    case "${rc}" in
+      0|1|3) ;;
+      *) echo "chaos smoke: '${b}' exited ${rc} under --join-timeout 1ms" >&2
+         return 1 ;;
+    esac
+  done
+  # Forced candidate rejections: the search must recover and still solve.
+  PARSYNT_FAULT='synth.reject:limit=2' \
+    "${bin}" --benchmark sum >/dev/null
+  # Runtime faults under the parallel selftest: forced steal failures and
+  # spurious wakeups must not change any result.
+  PARSYNT_FAULT='pool.steal:every=7:limit=500,pool.wakeup:every=3' \
+    "${bin}" --benchmark mps --selftest >/dev/null
+}
+
 echo "== ASan + UBSan =="
 cmake -B "${PREFIX}-asan" -S . \
   -DPARSYNT_SANITIZE=address \
@@ -30,6 +55,9 @@ ASAN_OPTIONS=abort_on_error=1 UBSAN_OPTIONS=halt_on_error=1 \
 PARSYNT_FIG8_ELEMS=200000 ASAN_OPTIONS=abort_on_error=1 \
   UBSAN_OPTIONS=halt_on_error=1 "${PREFIX}-asan/bench/fig8" --stats \
   > /dev/null
+echo "== chaos smoke (ASan) =="
+ASAN_OPTIONS=abort_on_error=1 UBSAN_OPTIONS=halt_on_error=1 \
+  chaos_smoke "${PREFIX}-asan/tools/parsynt"
 
 echo "== TSan (runtime / task-pool tests) =="
 cmake -B "${PREFIX}-tsan" -S . \
@@ -49,5 +77,7 @@ TSAN_OPTIONS=halt_on_error=1 \
 # Scheduler smoke under TSan as well (all 22 kernels through the pool).
 PARSYNT_FIG8_ELEMS=200000 TSAN_OPTIONS=halt_on_error=1 \
   "${PREFIX}-tsan/bench/fig8" --stats > /dev/null
+echo "== chaos smoke (TSan) =="
+TSAN_OPTIONS=halt_on_error=1 chaos_smoke "${PREFIX}-tsan/tools/parsynt"
 
 echo "sanitize.sh: all clean"

@@ -13,12 +13,28 @@
 //                                 per-variable dependence classification,
 //                                 and the IR verifier verdict — no synthesis
 //   Flags: --emit-dafny <path>    write the Figure-7 proof artifact
+//          --emit-cpp <path>      write the parallel C++ program (or the
+//                                 sequential fallback when synthesis fails)
 //          --check-proof          check the induction obligations
 //          --selftest             run the join on random data in parallel
 //                                 and compare with the sequential loop
 //          --runtime-stats        with --selftest: print the scheduler's
 //                                 per-worker spawn/steal/park counters and
 //                                 leaf/join timings after the runs
+//          --timeout <dur>        whole-loop wall-clock budget
+//          --join-timeout <dur>   budget for each join-synthesis call
+//          --lift-timeout <dur>   budget for each lifting attempt
+//                                 (<dur> is e.g. '500ms', '2s', '1m', or a
+//                                 plain number of seconds)
+//
+// Exit codes:
+//   0  success (join synthesized, requested artifacts written)
+//   1  synthesis failure (no join; a sequential fallback is still emitted
+//      when --emit-cpp was given) or an internal error
+//   2  usage / input error (bad flags, unknown benchmark, unreadable or
+//      unparsable file)
+//   3  timeout (a deadline from --timeout/--join-timeout/--lift-timeout
+//      expired; a sequential fallback is still emitted with --emit-cpp)
 //
 //===----------------------------------------------------------------------===//
 
@@ -33,6 +49,8 @@
 #include "support/Random.h"
 
 #include <cstdio>
+#include <cstdlib>
+#include <exception>
 #include <fstream>
 #include <sstream>
 #include <string>
@@ -41,13 +59,48 @@ using namespace parsynt;
 
 namespace {
 
+constexpr int ExitSuccess = 0;
+constexpr int ExitSynthFailure = 1;
+constexpr int ExitUsage = 2;
+constexpr int ExitTimeout = 3;
+
 int usage() {
   std::fprintf(stderr,
                "usage: parsynt [<file> | --benchmark <name> | --list]\n"
                "               [--analyze] [--emit-dafny <path>] "
-               "[--check-proof] [--selftest]\n"
-               "               [--runtime-stats]\n");
-  return 2;
+               "[--emit-cpp <path>]\n"
+               "               [--check-proof] [--selftest] "
+               "[--runtime-stats]\n"
+               "               [--timeout <dur>] [--join-timeout <dur>] "
+               "[--lift-timeout <dur>]\n"
+               "durations: '500ms', '2s', '1m', or plain seconds\n"
+               "exit codes: 0 success, 1 synthesis failure, 2 usage, "
+               "3 timeout\n");
+  return ExitUsage;
+}
+
+/// Parses "500ms" / "2s" / "1.5m" / plain seconds. Returns a negative
+/// value on malformed input.
+double parseDuration(const std::string &Spec) {
+  if (Spec.empty())
+    return -1;
+  size_t End = 0;
+  double Magnitude;
+  try {
+    Magnitude = std::stod(Spec, &End);
+  } catch (const std::exception &) {
+    return -1;
+  }
+  if (Magnitude < 0)
+    return -1;
+  std::string Unit = Spec.substr(End);
+  if (Unit.empty() || Unit == "s")
+    return Magnitude;
+  if (Unit == "ms")
+    return Magnitude / 1000.0;
+  if (Unit == "m")
+    return Magnitude * 60.0;
+  return -1;
 }
 
 bool runSelfTest(const PipelineResult &Result, bool RuntimeStats) {
@@ -78,19 +131,22 @@ bool runSelfTest(const PipelineResult &Result, bool RuntimeStats) {
       return false;
     }
   }
-  std::printf("selftest: 20 parallel runs match the sequential loop\n");
+  if (Result.SequentialFallback)
+    std::printf("selftest: 20 sequential-fallback runs match the "
+                "sequential loop\n");
+  else
+    std::printf("selftest: 20 parallel runs match the sequential loop\n");
   if (RuntimeStats)
     std::printf("runtime stats (%u threads):\n%s",
                 Pool.threadCount(), Pool.statsSnapshot().table().c_str());
   return true;
 }
 
-} // namespace
-
-int main(int argc, char **argv) {
+int run(int argc, char **argv, std::string &CurrentInput) {
   std::string File, BenchmarkName, DafnyPath, CppPath;
   bool CheckProof = false, SelfTest = false, List = false, Analyze = false;
   bool RuntimeStats = false;
+  PipelineOptions Options;
 
   for (int I = 1; I < argc; ++I) {
     std::string Arg = argv[I];
@@ -100,7 +156,24 @@ int main(int argc, char **argv) {
       DafnyPath = argv[++I];
     else if (Arg == "--emit-cpp" && I + 1 < argc)
       CppPath = argv[++I];
-    else if (Arg == "--analyze")
+    else if ((Arg == "--timeout" || Arg == "--join-timeout" ||
+              Arg == "--lift-timeout") &&
+             I + 1 < argc) {
+      double Seconds = parseDuration(argv[++I]);
+      if (Seconds < 0) {
+        std::fprintf(stderr,
+                     "error: malformed duration '%s' for %s (expected e.g. "
+                     "'500ms', '2s', '1m')\n",
+                     argv[I], Arg.c_str());
+        return ExitUsage;
+      }
+      if (Arg == "--timeout")
+        Options.TimeoutSeconds = Seconds;
+      else if (Arg == "--join-timeout")
+        Options.JoinTimeoutSeconds = Seconds;
+      else
+        Options.LiftTimeoutSeconds = Seconds;
+    } else if (Arg == "--analyze")
       Analyze = true;
     else if (Arg == "--check-proof")
       CheckProof = true;
@@ -119,23 +192,25 @@ int main(int argc, char **argv) {
   if (List) {
     for (const Benchmark &B : allBenchmarks())
       std::printf("%-12s %s\n", B.Name.c_str(), B.Description.c_str());
-    return 0;
+    return ExitSuccess;
   }
 
   Loop L;
   if (!BenchmarkName.empty()) {
+    CurrentInput = "benchmark '" + BenchmarkName + "'";
     const Benchmark *B = findBenchmark(BenchmarkName);
     if (!B) {
       std::fprintf(stderr, "error: unknown benchmark '%s' (try --list)\n",
                    BenchmarkName.c_str());
-      return 2;
+      return ExitUsage;
     }
     L = parseBenchmark(*B);
   } else if (!File.empty()) {
+    CurrentInput = "'" + File + "'";
     std::ifstream In(File);
     if (!In) {
       std::fprintf(stderr, "error: cannot open '%s'\n", File.c_str());
-      return 2;
+      return ExitUsage;
     }
     std::ostringstream Buffer;
     Buffer << In.rdbuf();
@@ -143,7 +218,7 @@ int main(int argc, char **argv) {
     auto Parsed = parseLoop(Buffer.str(), File, Diags);
     if (!Parsed) {
       std::fprintf(stderr, "%s", Diags.str().c_str());
-      return 1;
+      return ExitUsage;
     }
     // Surface non-fatal lint warnings (e.g. index-dependence notes).
     if (!Diags.diagnostics().empty())
@@ -159,26 +234,41 @@ int main(int argc, char **argv) {
     VerifierReport Report = verifyLoop(L, VerifyPhase::AfterFrontend);
     if (!Report.ok()) {
       std::printf("%s", Report.str().c_str());
-      return 1;
+      return ExitSynthFailure;
     }
     std::printf("verifier: ok (%zu state variables, %zu sccs)\n",
                 Info.Vars.size(), Info.Sccs.size());
-    return 0;
+    return ExitSuccess;
   }
 
-  PipelineResult Result = parallelizeLoop(L);
+  PipelineResult Result = parallelizeLoop(L, Options);
   std::printf("%s", Result.report().c_str());
   std::printf("times: join %.2fs, lift %.2fs, total %.2fs\n",
               Result.JoinSeconds, Result.LiftSeconds, Result.TotalSeconds);
-  if (!Result.Success)
-    return 1;
+
+  if (!Result.Success) {
+    // Graceful degradation: the sequential fallback is still emittable
+    // and runnable, so honor --emit-cpp / --selftest before exiting with
+    // the failure taxonomy code.
+    if (!CppPath.empty() && Result.SequentialFallback) {
+      std::ofstream Out(CppPath);
+      Out << emitParallelCpp(Result.Final, Result.Join.Components);
+      std::printf("wrote sequential fallback C++ to %s (build: g++ -O2 "
+                  "-std=c++17 -pthread -I <parsynt>/src %s)\n",
+                  CppPath.c_str(), CppPath.c_str());
+    }
+    if (SelfTest && Result.SequentialFallback)
+      runSelfTest(Result, RuntimeStats);
+    return Result.Failure.Kind == FailureKind::Timeout ? ExitTimeout
+                                                       : ExitSynthFailure;
+  }
 
   if (CheckProof) {
     ProofReport Proof =
         checkHomomorphismProof(Result.Final, Result.Join.Components);
     std::printf("%s\n", Proof.str().c_str());
     if (!Proof.Verified)
-      return 1;
+      return ExitSynthFailure;
   }
   if (!DafnyPath.empty()) {
     std::ofstream Out(DafnyPath);
@@ -193,6 +283,25 @@ int main(int argc, char **argv) {
                 CppPath.c_str(), CppPath.c_str());
   }
   if (SelfTest && !runSelfTest(Result, RuntimeStats))
-    return 1;
-  return 0;
+    return ExitSynthFailure;
+  return ExitSuccess;
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  std::string CurrentInput = "<no input>";
+  try {
+    return run(argc, argv, CurrentInput);
+  } catch (const std::exception &E) {
+    std::fprintf(stderr, "parsynt: internal error while processing %s: %s\n",
+                 CurrentInput.c_str(), E.what());
+    return ExitSynthFailure;
+  } catch (...) {
+    std::fprintf(stderr,
+                 "parsynt: internal error while processing %s: unknown "
+                 "exception\n",
+                 CurrentInput.c_str());
+    return ExitSynthFailure;
+  }
 }
