@@ -16,8 +16,15 @@
 // shape — near-linear scaling to the core count, ~1.0 one-core overhead —
 // is the reproduction target; see EXPERIMENTS.md).
 //
+// `--report json` prints the machine-readable run report
+// (observe/Report.h) on stdout with the human table moved to stderr; CI
+// archives it as BENCH_fig8.json. `--stats` prints the scheduler's
+// counters after each row, formatted through the metrics registry.
+//
 //===----------------------------------------------------------------------===//
 
+#include "observe/PoolMetrics.h"
+#include "observe/Report.h"
 #include "runtime/ParallelReduce.h"
 #include "suite/Kernels.h"
 
@@ -54,15 +61,21 @@ template <typename Fn> double bestOf(unsigned Reps, Fn &&Body) {
 } // namespace
 
 int main(int argc, char **argv) {
-  bool Stats = false;
+  bool Stats = false, ReportJson = false;
   for (int I = 1; I < argc; ++I) {
     if (std::strcmp(argv[I], "--stats") == 0) {
       Stats = true;
+    } else if (std::strcmp(argv[I], "--report") == 0 && I + 1 < argc &&
+               std::strcmp(argv[I + 1], "json") == 0) {
+      ReportJson = true;
+      ++I;
     } else {
-      std::fprintf(stderr, "usage: fig8 [--stats]\n");
+      std::fprintf(stderr, "usage: fig8 [--stats] [--report json]\n");
       return 2;
     }
   }
+  // In report mode the JSON document owns stdout.
+  FILE *HumanOut = ReportJson ? stderr : stdout;
   size_t N = size_t(1) << 26;
   if (const char *Env = std::getenv("PARSYNT_FIG8_ELEMS"))
     N = static_cast<size_t>(std::atoll(Env));
@@ -79,16 +92,20 @@ int main(int argc, char **argv) {
     ThreadCounts.push_back(Cores);
   const unsigned Reps = 3;
 
-  std::printf("Figure 8: speedup of the synthesized divide-and-conquer "
-              "programs over the sequential originals\n");
-  std::printf("elements=%zu grain=%zu cores=%u (paper: 2bn elements, grain "
-              "50k, 64 cores)\n\n",
-              N, Grain, Cores);
-  std::printf("%-12s %10s |", "benchmark", "seq (s)");
+  std::fprintf(HumanOut,
+               "Figure 8: speedup of the synthesized divide-and-conquer "
+               "programs over the sequential originals\n");
+  std::fprintf(HumanOut,
+               "elements=%zu grain=%zu cores=%u (paper: 2bn elements, grain "
+               "50k, 64 cores)\n\n",
+               N, Grain, Cores);
+  std::fprintf(HumanOut, "%-12s %10s |", "benchmark", "seq (s)");
   for (unsigned T : ThreadCounts)
-    std::printf("  x%-5u", T);
-  std::printf("   (speedup per thread count)\n");
+    std::fprintf(HumanOut, "  x%-5u", T);
+  std::fprintf(HumanOut, "   (speedup per thread count)\n");
 
+  RunReport Report;
+  Report.Tool = "fig8";
   std::vector<double> OneThreadSlowdowns;
   for (const NativeKernel &K : nativeKernels()) {
     std::vector<int64_t> A = generateInput(K.Kind, N, 0xF168);
@@ -102,7 +119,13 @@ int main(int argc, char **argv) {
       Sink = K.Output(S);
     });
 
-    std::printf("%-12s %10.3f |", K.Name.c_str(), SeqTime);
+    std::fprintf(HumanOut, "%-12s %10.3f |", K.Name.c_str(), SeqTime);
+    BenchmarkEntry Entry;
+    Entry.Name = K.Name;
+    Entry.Success = true;
+    Entry.TotalSeconds = SeqTime;
+    Entry.Extra.emplace_back("seq_seconds", SeqTime);
+    Entry.Extra.emplace_back("elements", double(N));
     std::vector<std::string> StatLines;
     for (unsigned T : ThreadCounts) {
       TaskPool Pool(T);
@@ -117,23 +140,39 @@ int main(int argc, char **argv) {
             [&](const KState &L, const KState &R) { return K.Join(L, R); });
         ParOut = K.Output(S);
       });
-      if (ParOut != Sink)
-        std::printf(" WRONG! ");
-      else
-        std::printf("  %5.2f ", SeqTime / ParTime);
+      if (ParOut != Sink) {
+        std::fprintf(HumanOut, " WRONG! ");
+        Entry.Success = false;
+      } else {
+        std::fprintf(HumanOut, "  %5.2f ", SeqTime / ParTime);
+      }
+      Entry.Extra.emplace_back("speedup_x" + std::to_string(T),
+                               SeqTime / ParTime);
       // Exclude degenerate rows from the §8.2 statistic: when the
       // sequential loop compiles to O(1) (length), the ratio divides by
       // ~0 and measures nothing but the fixed cost of the grain tree.
-      if (T == 1 && SeqTime > 1e-3)
+      if (T == 1 && SeqTime > 1e-3) {
         OneThreadSlowdowns.push_back(ParTime / SeqTime);
+        Entry.Extra.emplace_back("one_thread_slowdown", ParTime / SeqTime);
+      }
+      // One code path for the scheduler counters: the pool snapshot is
+      // absorbed into the metrics registry (under "pool.") and both the
+      // report and the --stats lines read from there.
+      StatsSnapshot Snap = Pool.statsSnapshot();
+      absorbPoolStats(MetricsRegistry::global(), Snap);
       if (Stats)
         StatLines.push_back("    x" + std::to_string(T) + " (" +
                             std::to_string(Reps) + " reps): " +
-                            Pool.statsSnapshot().summary());
+                            poolSummary(Snap));
     }
-    std::printf("\n");
+    if (!Entry.Success)
+      Entry.Failure =
+          FailureInfo(FailureKind::InternalError,
+                      "parallel output mismatches the sequential loop");
+    Report.Benchmarks.push_back(std::move(Entry));
+    std::fprintf(HumanOut, "\n");
     for (const std::string &Line : StatLines)
-      std::printf("%s\n", Line.c_str());
+      std::fprintf(HumanOut, "%s\n", Line.c_str());
   }
 
   // Section 8.2: single-core overhead of the runtime + lifted leaves.
@@ -145,9 +184,16 @@ int main(int argc, char **argv) {
   for (double S : OneThreadSlowdowns)
     Var += (S - Mean) * (S - Mean);
   double Sigma = std::sqrt(Var / OneThreadSlowdowns.size());
-  std::printf("\nSingle-core slowdown of the parallel version (paper: mean "
-              "~1.0, sigma ~0.04):\n  mean %.3f, sigma %.3f over %zu "
-              "benchmarks (degenerate seq<1ms rows excluded)\n",
-              Mean, Sigma, OneThreadSlowdowns.size());
-  return 0;
+  std::fprintf(HumanOut,
+               "\nSingle-core slowdown of the parallel version (paper: mean "
+               "~1.0, sigma ~0.04):\n  mean %.3f, sigma %.3f over %zu "
+               "benchmarks (degenerate seq<1ms rows excluded)\n",
+               Mean, Sigma, OneThreadSlowdowns.size());
+
+  bool AllOk = true;
+  for (const BenchmarkEntry &E : Report.Benchmarks)
+    AllOk = AllOk && E.Success;
+  if (ReportJson)
+    std::printf("%s", Report.toJson().c_str());
+  return AllOk ? 0 : 1;
 }

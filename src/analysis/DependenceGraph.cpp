@@ -7,6 +7,8 @@
 
 #include "analysis/DependenceGraph.h"
 #include "ir/ExprOps.h"
+#include "observe/Metrics.h"
+#include "observe/Tracer.h"
 
 #include <algorithm>
 #include <cassert>
@@ -157,6 +159,17 @@ private:
 
 DependenceInfo parsynt::analyzeDependences(const Loop &L) {
   DependenceInfo Info;
+  Span DepSpan("analyzeDependences", trace::Analysis);
+  DepSpan.attr("loop", L.Name.empty() ? "<loop>" : L.Name);
+  struct DepFinisher {
+    Span &S;
+    const DependenceInfo &I;
+    ~DepFinisher() {
+      S.attr("vars", uint64_t(I.Vars.size()));
+      S.attr("sccs", uint64_t(I.Sccs.size()));
+      MetricsRegistry::global().counter("analysis.dependence.runs").inc();
+    }
+  } Finish{DepSpan, Info};
   size_t N = L.Equations.size();
   Info.Vars.resize(N);
 

@@ -7,6 +7,8 @@
 
 #include "analysis/Verifier.h"
 #include "ir/ExprOps.h"
+#include "observe/Metrics.h"
+#include "observe/Tracer.h"
 
 #include <set>
 #include <sstream>
@@ -157,6 +159,20 @@ private:
 VerifierReport parsynt::verifyLoop(const Loop &L, VerifyPhase Phase) {
   VerifierReport Report;
   Report.Phase = Phase;
+  Span VerifySpan("verifyLoop", trace::Analysis);
+  VerifySpan.attr("loop", L.Name.empty() ? "<loop>" : L.Name);
+  VerifySpan.attr("phase", verifyPhaseName(Phase));
+  struct VerifyFinisher {
+    Span &S;
+    const VerifierReport &R;
+    ~VerifyFinisher() {
+      S.attr("ok", R.ok());
+      S.attr("violations", uint64_t(R.Violations.size()));
+      MetricsRegistry &M = MetricsRegistry::global();
+      M.counter("analysis.verify.passes").inc();
+      M.counter("analysis.verify.violations").add(R.Violations.size());
+    }
+  } Finish{VerifySpan, Report};
   Checker C(Report);
 
   // Declaration table and uniqueness.

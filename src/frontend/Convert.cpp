@@ -9,6 +9,8 @@
 #include "analysis/Lint.h"
 #include "analysis/Verifier.h"
 #include "ir/ExprOps.h"
+#include "observe/Metrics.h"
+#include "observe/Tracer.h"
 
 #include <map>
 #include <set>
@@ -410,20 +412,46 @@ std::optional<Loop> Converter::run() {
 std::optional<Loop> parsynt::convertProgram(const SProgram &Program,
                                             const std::string &Name,
                                             DiagnosticEngine &Diags) {
+  Span ConvertSpan("convertProgram", trace::Frontend);
+  ConvertSpan.attr("loop", Name.empty() ? "<loop>" : Name);
   Converter C(Program, Name, Diags);
-  return C.run();
+  std::optional<Loop> Result = C.run();
+  ConvertSpan.attr("ok", Result.has_value());
+  if (Result) {
+    ConvertSpan.attr("equations", uint64_t(Result->Equations.size()));
+    ConvertSpan.attr("sequences", uint64_t(Result->Sequences.size()));
+  }
+  MetricsRegistry &M = MetricsRegistry::global();
+  M.counter("frontend.converts").inc();
+  if (!Result)
+    M.counter("frontend.convert_errors").inc();
+  return Result;
 }
 
 std::optional<Loop> parsynt::parseLoop(const std::string &Source,
                                        const std::string &Name,
                                        DiagnosticEngine &Diags) {
+  Span ParseSpan("parseLoop", trace::Frontend);
+  ParseSpan.attr("loop", Name.empty() ? "<loop>" : Name);
+  ParseSpan.attr("source_bytes", uint64_t(Source.size()));
   auto Program = parseProgram(Source, Diags);
-  if (!Program)
+  MetricsRegistry::global().counter("frontend.parses").inc();
+  if (!Program) {
+    MetricsRegistry::global().counter("frontend.parse_errors").inc();
+    ParseSpan.attr("ok", false);
     return std::nullopt;
+  }
   // Fragment conformance first: the linter rejects out-of-fragment inputs
   // (sequence writes, non-affine subscripts, ...) with source locations the
   // converter cannot reconstruct. Warnings are kept but do not abort.
-  if (!lintProgram(*Program, Diags).ok())
-    return std::nullopt;
+  {
+    Span LintSpan("lintProgram", trace::Frontend);
+    LintSummary Lint = lintProgram(*Program, Diags);
+    LintSpan.attr("ok", Lint.ok());
+    if (!Lint.ok()) {
+      ParseSpan.attr("ok", false);
+      return std::nullopt;
+    }
+  }
   return convertProgram(*Program, Name, Diags);
 }

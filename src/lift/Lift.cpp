@@ -13,6 +13,8 @@
 #include "lift/NormalForms.h"
 #include "lift/Unfold.h"
 #include "normalize/Simplify.h"
+#include "observe/Metrics.h"
+#include "observe/Tracer.h"
 #include "support/Random.h"
 
 #include <algorithm>
@@ -87,7 +89,13 @@ public:
     K = Options.Unfoldings;
     buildElementPool();
     buildFrames();
-    FromInit = unfoldLoop(Work, K, /*FromUnknowns=*/false, limits());
+    {
+      Span U("unfold", trace::Lift);
+      U.attr("from", "init");
+      U.attr("depth", uint64_t(K));
+      FromInit = unfoldLoop(Work, K, /*FromUnknowns=*/false, limits());
+      U.attr("exceeded", FromInit.Exceeded);
+    }
     noteIfExceeded("from-initialization");
   }
 
@@ -427,7 +435,14 @@ void Lifter::registerAux(const ExprRef &Definition, const ExprRef &Update,
   Result.Auxiliaries.push_back({Name, Eq.Ty, Definition, Renamed, Init});
   // Refresh the from-initialization unfolding so later coverage checks see
   // the new accumulator.
-  FromInit = unfoldLoop(Work, K, /*FromUnknowns=*/false, limits());
+  {
+    Span U("unfold", trace::Lift);
+    U.attr("from", "aux-refresh");
+    U.attr("aux", Name);
+    U.attr("depth", uint64_t(K));
+    FromInit = unfoldLoop(Work, K, /*FromUnknowns=*/false, limits());
+    U.attr("exceeded", FromInit.Exceeded);
+  }
   noteIfExceeded("auxiliary refresh");
 }
 
@@ -522,7 +537,14 @@ LiftResult Lifter::run() {
     return finish();
 
   // Unfold the *input* part of the loop from the symbolic split state.
-  Unfolding FromUnknown = unfoldLoop(Work, K, /*FromUnknowns=*/true, limits());
+  Unfolding FromUnknown;
+  {
+    Span U("unfold", trace::Lift);
+    U.attr("from", "unknowns");
+    U.attr("depth", uint64_t(K));
+    FromUnknown = unfoldLoop(Work, K, /*FromUnknowns=*/true, limits());
+    U.attr("exceeded", FromUnknown.Exceeded);
+  }
   if (FromUnknown.Exceeded) {
     Result.Failure = {
         FailureKind::BudgetExhausted,
@@ -561,6 +583,9 @@ LiftResult Lifter::run() {
   for (const Equation &Eq : OriginalEqs) {
     if (Eq.IsAuxiliary)
       continue; // the materialized position accumulator needs no lifting
+    Span NormSpan("normalizeUnfoldings", trace::Lift);
+    NormSpan.attr("equation", Eq.Name);
+    NormSpan.attr("steps", uint64_t(K));
     std::vector<std::vector<ExprRef>> Parts(K + 1);
     for (unsigned Step = 1; Step <= K; ++Step) {
       if (Options.Timeout.expired()) {
@@ -601,6 +626,9 @@ LiftResult Lifter::run() {
   // pass adds an auxiliary — the 'while Aux != OldAux' of Algorithm 1.
   const unsigned MaxPasses = 4;
   for (unsigned Pass = 0; Pass != MaxPasses && !Aborted; ++Pass) {
+    Span PassSpan("fixpointPass", trace::Lift);
+    PassSpan.attr("pass", uint64_t(Pass));
+    size_t AuxBase = Result.Auxiliaries.size();
     Result.Unresolved.clear();
     bool Changed = false;
     for (const Equation &Eq : OriginalEqs) {
@@ -634,6 +662,14 @@ LiftResult Lifter::run() {
         }
       }
     }
+    std::string Discovered;
+    for (size_t A = AuxBase; A != Result.Auxiliaries.size(); ++A) {
+      if (!Discovered.empty())
+        Discovered += ",";
+      Discovered += Result.Auxiliaries[A].Name;
+    }
+    PassSpan.attr("discovered", Discovered);
+    PassSpan.attr("changed", Changed);
     if (!Changed)
       break;
   }
@@ -644,6 +680,24 @@ LiftResult Lifter::run() {
 } // namespace
 
 LiftResult parsynt::liftLoop(const Loop &L, const LiftOptions &Options) {
+  Span Root("liftLoop", trace::Lift);
+  Root.attr("loop", L.Name.empty() ? "<loop>" : L.Name);
+  Root.attr("depth", uint64_t(Options.Unfoldings));
+  Root.attr("preference", Options.Preference == InitPreference::ZeroFirst
+                              ? "zero-first"
+                              : Options.Preference == InitPreference::MaxFirst
+                                    ? "max-first"
+                                    : "min-first");
   Lifter Engine(L, Options);
-  return Engine.run();
+  LiftResult Result = Engine.run();
+  Root.attr("aux_discovered", uint64_t(Result.auxCount()));
+  Root.attr("unresolved", uint64_t(Result.Unresolved.size()));
+
+  MetricsRegistry &M = MetricsRegistry::global();
+  M.counter("lift.calls").inc();
+  M.counter("lift.aux_discovered").add(Result.auxCount());
+  M.counter("lift.unresolved").add(Result.Unresolved.size());
+  M.histogram("lift.millis")
+      .observe(static_cast<uint64_t>(Result.Seconds * 1e3));
+  return Result;
 }

@@ -7,6 +7,8 @@
 
 #include "normalize/Normalizer.h"
 #include "normalize/Simplify.h"
+#include "observe/Metrics.h"
+#include "observe/Tracer.h"
 
 #include <queue>
 #include <unordered_set>
@@ -42,6 +44,13 @@ ExprRef parsynt::normalizeExpr(const ExprRef &E,
   ExprRef Start = simplify(E);
   unsigned SizeCap = Start->size() * Options.SizeFactor + Options.SizeSlack;
 
+  Span BatchSpan("normalizeExpr", trace::Normalize);
+  BatchSpan.attr("input_size", uint64_t(Start->size()));
+  // Rule hits are accumulated locally across the whole search and flushed
+  // to the registry once on exit — the best-first loop stays free of
+  // shared-counter traffic.
+  std::vector<uint64_t> RuleHits(Rules.size(), 0);
+
   std::priority_queue<Node, std::vector<Node>, NodeWorse> Frontier;
   std::unordered_set<std::string> Seen;
   Frontier.push({Start, exprCost(Start, Unknowns), Start->size()});
@@ -62,7 +71,7 @@ ExprRef parsynt::normalizeExpr(const ExprRef &E,
     if (Current.Cost < Best.Cost ||
         (Current.Cost == Best.Cost && Current.Size < Best.Size))
       Best = Current;
-    for (ExprRef &Neighbor : allRewrites(Current.E, Rules)) {
+    for (ExprRef &Neighbor : allRewrites(Current.E, Rules, RuleHits)) {
       if (Neighbor->size() > SizeCap)
         continue;
       std::string Key = exprToString(Neighbor);
@@ -80,5 +89,19 @@ ExprRef parsynt::normalizeExpr(const ExprRef &E,
     Stats->Expanded = Expanded;
     Stats->FinalCost = Best.Cost;
   }
+
+  MetricsRegistry &M = MetricsRegistry::global();
+  M.counter("normalize.calls").inc();
+  M.counter("normalize.expanded").add(Expanded);
+  uint64_t TotalHits = 0;
+  for (size_t R = 0; R != Rules.size(); ++R) {
+    TotalHits += RuleHits[R];
+    if (RuleHits[R])
+      M.counter("normalize.rule." + Rules[R].Name).add(RuleHits[R]);
+  }
+  M.counter("normalize.rule_hits").add(TotalHits);
+  BatchSpan.attr("expanded", uint64_t(Expanded));
+  BatchSpan.attr("rule_hits", TotalHits);
+  BatchSpan.attr("output_size", uint64_t(Best.E->size()));
   return Best.E;
 }

@@ -565,13 +565,20 @@ ExprRef replaceChild(const ExprRef &E, size_t Index, const ExprRef &NewChild) {
 }
 
 void collectRewrites(const ExprRef &E, const std::vector<RewriteRule> &Rules,
-                     std::vector<ExprRef> &Out) {
-  for (const RewriteRule &Rule : Rules)
-    Rule.Apply(E, Out);
+                     std::vector<ExprRef> &Out,
+                     std::vector<uint64_t> *RuleHits) {
+  for (size_t R = 0; R != Rules.size(); ++R) {
+    size_t Before = Out.size();
+    Rules[R].Apply(E, Out);
+    if (RuleHits)
+      (*RuleHits)[R] += Out.size() - Before;
+  }
   std::vector<ExprRef> Kids = children(E);
   for (size_t I = 0; I != Kids.size(); ++I) {
     std::vector<ExprRef> ChildRewrites;
-    collectRewrites(Kids[I], Rules, ChildRewrites);
+    // Rule attribution happens at the child's own root; the parent wrap
+    // below is not a fresh application.
+    collectRewrites(Kids[I], Rules, ChildRewrites, RuleHits);
     for (const ExprRef &NewChild : ChildRewrites)
       Out.push_back(replaceChild(E, I, NewChild));
   }
@@ -606,7 +613,23 @@ const std::vector<RewriteRule> &parsynt::figure6Rules() {
 std::vector<ExprRef>
 parsynt::allRewrites(const ExprRef &E, const std::vector<RewriteRule> &Rules) {
   std::vector<ExprRef> Raw;
-  collectRewrites(E, Rules, Raw);
+  collectRewrites(E, Rules, Raw, /*RuleHits=*/nullptr);
+  std::vector<ExprRef> Result;
+  std::unordered_set<std::string> Seen;
+  Result.reserve(Raw.size());
+  for (const ExprRef &Candidate : Raw) {
+    ExprRef Simplified = simplify(Candidate);
+    if (Seen.insert(exprToString(Simplified)).second)
+      Result.push_back(std::move(Simplified));
+  }
+  return Result;
+}
+
+std::vector<ExprRef>
+parsynt::allRewrites(const ExprRef &E, const std::vector<RewriteRule> &Rules,
+                     std::vector<uint64_t> &RuleHits) {
+  std::vector<ExprRef> Raw;
+  collectRewrites(E, Rules, Raw, &RuleHits);
   std::vector<ExprRef> Result;
   std::unordered_set<std::string> Seen;
   Result.reserve(Raw.size());

@@ -20,6 +20,7 @@
 
 #include "ir/Expr.h"
 
+#include <cstdint>
 #include <functional>
 #include <string>
 #include <vector>
@@ -41,6 +42,15 @@ const std::vector<RewriteRule> &figure6Rules();
 /// are simplified (normalize/Simplify.h) and deduplicated.
 std::vector<ExprRef> allRewrites(const ExprRef &E,
                                  const std::vector<RewriteRule> &Rules);
+
+/// As above, additionally attributing raw (pre-dedup) rewrite productions
+/// to rules: RuleHits[i] is incremented once per rewriting produced by
+/// Rules[i] at any position. \p RuleHits must be sized to Rules.size();
+/// the normalizer aggregates these into per-rule metrics and span
+/// attributes.
+std::vector<ExprRef> allRewrites(const ExprRef &E,
+                                 const std::vector<RewriteRule> &Rules,
+                                 std::vector<uint64_t> &RuleHits);
 
 } // namespace parsynt
 

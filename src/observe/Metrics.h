@@ -1,0 +1,233 @@
+//===- observe/Metrics.h - Named counters/gauges/histograms -----*- C++ -*-===//
+//
+// Part of Parsynt-CXX, a reproduction of "Synthesis of Divide and Conquer
+// Parallelism for Loops" (PLDI 2017).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A process-wide registry of named metrics: monotone counters, last-value
+/// gauges, and log2-bucketed histograms. The synthesis pipeline and the
+/// runtime scheduler publish their interesting quantities here (CEGIS
+/// rounds, candidates enumerated, rewrite-rule applications, scheduler
+/// steals/parks, fault-injection firings, ...) and `parsynt --report json`
+/// / `bench/table1 --report json` serialize the registry into the stable
+/// machine-readable run-report schema (observe/Report.h).
+///
+/// Registration returns a stable reference: the registry owns each metric
+/// behind a unique_ptr in an insertion-ordered list, so a hot loop looks
+/// its counter up once and then only touches an atomic. Hot paths should
+/// accumulate locally and flush once per call — e.g. JoinSynth adds its
+/// whole JoinStats delta after the search, not one `+1` per candidate —
+/// keeping the "within noise of seed" contract trivially true.
+///
+/// Metric names are dotted paths (`synth.cegis.rounds`,
+/// `pool.steals`); DESIGN.md §5e is the name registry of record.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PARSYNT_OBSERVE_METRICS_H
+#define PARSYNT_OBSERVE_METRICS_H
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace parsynt {
+
+/// A monotone event count. add() is a single relaxed fetch_add, safe from
+/// any thread.
+class Counter {
+public:
+  void add(uint64_t Delta) { V.fetch_add(Delta, std::memory_order_relaxed); }
+  void inc() { add(1); }
+  uint64_t value() const { return V.load(std::memory_order_relaxed); }
+  void reset() { V.store(0, std::memory_order_relaxed); }
+
+private:
+  std::atomic<uint64_t> V{0};
+};
+
+/// A last-written value (e.g. grammar size of the current sketch tier).
+class Gauge {
+public:
+  void set(int64_t Value) { V.store(Value, std::memory_order_relaxed); }
+  int64_t value() const { return V.load(std::memory_order_relaxed); }
+  void reset() { V.store(0, std::memory_order_relaxed); }
+
+private:
+  std::atomic<int64_t> V{0};
+};
+
+/// A log2-bucketed distribution of non-negative samples, with exact
+/// count/sum/min/max. Buckets: [0], [1], [2,3], [4,7], ... — enough to
+/// see "one 48-second equation dominated" without storing samples.
+class Histogram {
+public:
+  static constexpr unsigned BucketCount = 44; // covers < 2^43
+
+  void observe(uint64_t Sample) {
+    Count.fetch_add(1, std::memory_order_relaxed);
+    Sum.fetch_add(Sample, std::memory_order_relaxed);
+    updateMin(Sample);
+    updateMax(Sample);
+    Buckets[bucketOf(Sample)].fetch_add(1, std::memory_order_relaxed);
+  }
+
+  uint64_t count() const { return Count.load(std::memory_order_relaxed); }
+  uint64_t sum() const { return Sum.load(std::memory_order_relaxed); }
+  /// Minimum observed sample (0 when empty).
+  uint64_t min() const {
+    uint64_t M = Min.load(std::memory_order_relaxed);
+    return M == NoMin ? 0 : M;
+  }
+  uint64_t max() const { return Max.load(std::memory_order_relaxed); }
+  uint64_t bucket(unsigned I) const {
+    return Buckets[I].load(std::memory_order_relaxed);
+  }
+
+  void reset() {
+    Count.store(0, std::memory_order_relaxed);
+    Sum.store(0, std::memory_order_relaxed);
+    Min.store(NoMin, std::memory_order_relaxed);
+    Max.store(0, std::memory_order_relaxed);
+    for (auto &B : Buckets)
+      B.store(0, std::memory_order_relaxed);
+  }
+
+  static unsigned bucketOf(uint64_t Sample) {
+    unsigned B = 0;
+    while (Sample > 0 && B + 1 < BucketCount) {
+      Sample >>= 1;
+      ++B;
+    }
+    return B;
+  }
+
+private:
+  static constexpr uint64_t NoMin = ~uint64_t(0);
+  void updateMin(uint64_t S) {
+    uint64_t Cur = Min.load(std::memory_order_relaxed);
+    while (S < Cur &&
+           !Min.compare_exchange_weak(Cur, S, std::memory_order_relaxed)) {
+    }
+  }
+  void updateMax(uint64_t S) {
+    uint64_t Cur = Max.load(std::memory_order_relaxed);
+    while (S > Cur &&
+           !Max.compare_exchange_weak(Cur, S, std::memory_order_relaxed)) {
+    }
+  }
+
+  std::atomic<uint64_t> Count{0};
+  std::atomic<uint64_t> Sum{0};
+  std::atomic<uint64_t> Min{NoMin};
+  std::atomic<uint64_t> Max{0};
+  std::atomic<uint64_t> Buckets[BucketCount]{};
+};
+
+/// The process-wide metric registry. Lookup takes a mutex (do it once,
+/// outside hot loops); the returned references stay valid for the life of
+/// the process.
+class MetricsRegistry {
+public:
+  static MetricsRegistry &global() {
+    static MetricsRegistry R;
+    return R;
+  }
+
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry &) = delete;
+  MetricsRegistry &operator=(const MetricsRegistry &) = delete;
+
+  Counter &counter(const std::string &Name) {
+    std::lock_guard<std::mutex> Lock(M);
+    auto It = Counters.find(Name);
+    if (It == Counters.end())
+      It = Counters.emplace(Name, std::make_unique<Counter>()).first;
+    return *It->second;
+  }
+
+  Gauge &gauge(const std::string &Name) {
+    std::lock_guard<std::mutex> Lock(M);
+    auto It = Gauges.find(Name);
+    if (It == Gauges.end())
+      It = Gauges.emplace(Name, std::make_unique<Gauge>()).first;
+    return *It->second;
+  }
+
+  Histogram &histogram(const std::string &Name) {
+    std::lock_guard<std::mutex> Lock(M);
+    auto It = Histograms.find(Name);
+    if (It == Histograms.end())
+      It = Histograms.emplace(Name, std::make_unique<Histogram>()).first;
+    return *It->second;
+  }
+
+  /// A point-in-time copy of every registered metric, sorted by name.
+  struct Snapshot {
+    std::vector<std::pair<std::string, uint64_t>> Counters;
+    std::vector<std::pair<std::string, int64_t>> Gauges;
+    struct HistRow {
+      std::string Name;
+      uint64_t Count, Sum, Min, Max;
+    };
+    std::vector<HistRow> Histograms;
+
+    /// Counter value by exact name (0 when absent) — convenience for
+    /// tests and formatters.
+    uint64_t counterOr0(const std::string &Name) const {
+      for (const auto &KV : Counters)
+        if (KV.first == Name)
+          return KV.second;
+      return 0;
+    }
+  };
+
+  Snapshot snapshot() const {
+    Snapshot S;
+    std::lock_guard<std::mutex> Lock(M);
+    for (const auto &KV : Counters)
+      S.Counters.emplace_back(KV.first, KV.second->value());
+    for (const auto &KV : Gauges)
+      S.Gauges.emplace_back(KV.first, KV.second->value());
+    for (const auto &KV : Histograms)
+      S.Histograms.push_back({KV.first, KV.second->count(), KV.second->sum(),
+                              KV.second->min(), KV.second->max()});
+    return S;
+  }
+
+  /// Zeroes every registered metric (per-benchmark isolation in the bench
+  /// drivers; registrations are kept).
+  void resetAll() {
+    std::lock_guard<std::mutex> Lock(M);
+    for (const auto &KV : Counters)
+      KV.second->reset();
+    for (const auto &KV : Gauges)
+      KV.second->reset();
+    for (const auto &KV : Histograms)
+      KV.second->reset();
+  }
+
+  size_t size() const {
+    std::lock_guard<std::mutex> Lock(M);
+    return Counters.size() + Gauges.size() + Histograms.size();
+  }
+
+private:
+  mutable std::mutex M;
+  // std::map keeps snapshots name-sorted, which the report schema requires
+  // for diff-stable output.
+  std::map<std::string, std::unique_ptr<Counter>> Counters;
+  std::map<std::string, std::unique_ptr<Gauge>> Gauges;
+  std::map<std::string, std::unique_ptr<Histogram>> Histograms;
+};
+
+} // namespace parsynt
+
+#endif // PARSYNT_OBSERVE_METRICS_H

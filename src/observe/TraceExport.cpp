@@ -1,0 +1,98 @@
+//===- observe/TraceExport.cpp - Trace file + phase-report export ---------===//
+//
+// Part of Parsynt-CXX, a reproduction of "Synthesis of Divide and Conquer
+// Parallelism for Loops" (PLDI 2017).
+//
+//===----------------------------------------------------------------------===//
+
+#include "observe/TraceExport.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <map>
+
+namespace parsynt {
+
+bool writeTraceFile(const std::string &Path, std::string *Error) {
+  std::FILE *F = std::fopen(Path.c_str(), "w");
+  if (!F) {
+    if (Error)
+      *Error = "cannot open '" + Path + "' for writing";
+    return false;
+  }
+  bool Ok = writeChromeTrace(F, Tracer::instance().drain());
+  if (std::fclose(F) != 0)
+    Ok = false;
+  if (!Ok && Error)
+    *Error = "write to '" + Path + "' failed";
+  return Ok;
+}
+
+std::vector<PhaseRow> aggregatePhases(const std::vector<TraceEvent> &Events) {
+  // Span id -> category, for the entry-span test (a span is a phase entry
+  // when its parent is absent or categorized differently).
+  std::map<uint64_t, const char *> CategoryOf;
+  for (const TraceEvent &E : Events)
+    CategoryOf[E.SpanId] = E.Category;
+
+  std::map<std::string, PhaseRow> Rows;
+  for (const TraceEvent &E : Events) {
+    PhaseRow &R = Rows[E.Category];
+    if (R.Category.empty())
+      R.Category = E.Category;
+    ++R.SpanCount;
+    auto Parent = CategoryOf.find(E.ParentId);
+    bool Entry = Parent == CategoryOf.end() ||
+                 std::strcmp(Parent->second, E.Category) != 0;
+    if (Entry)
+      R.WallNanos += E.EndNs - E.StartNs;
+  }
+
+  std::vector<PhaseRow> Out;
+  for (auto &KV : Rows)
+    Out.push_back(std::move(KV.second));
+  std::sort(Out.begin(), Out.end(), [](const PhaseRow &A, const PhaseRow &B) {
+    return A.WallNanos > B.WallNanos;
+  });
+  return Out;
+}
+
+std::string phaseReport(const std::vector<TraceEvent> &Events) {
+  std::string Out;
+  char Buf[256];
+  if (Events.empty())
+    return "phase report: no spans recorded (tracing off?)\n";
+
+  std::snprintf(Buf, sizeof(Buf), "%-12s %12s %8s\n", "phase", "wall (ms)",
+                "spans");
+  Out += Buf;
+  for (const PhaseRow &R : aggregatePhases(Events)) {
+    std::snprintf(Buf, sizeof(Buf), "%-12s %12.3f %8llu\n",
+                  R.Category.c_str(), R.WallNanos / 1e6,
+                  (unsigned long long)R.SpanCount);
+    Out += Buf;
+  }
+
+  std::vector<const TraceEvent *> ByDuration;
+  ByDuration.reserve(Events.size());
+  for (const TraceEvent &E : Events)
+    ByDuration.push_back(&E);
+  std::sort(ByDuration.begin(), ByDuration.end(),
+            [](const TraceEvent *A, const TraceEvent *B) {
+              return (A->EndNs - A->StartNs) > (B->EndNs - B->StartNs);
+            });
+  Out += "hottest spans:\n";
+  size_t N = std::min<size_t>(5, ByDuration.size());
+  for (size_t I = 0; I != N; ++I) {
+    const TraceEvent &E = *ByDuration[I];
+    std::snprintf(Buf, sizeof(Buf), "  %-28s %-10s %12.3f ms\n", E.Name,
+                  E.Category, (E.EndNs - E.StartNs) / 1e6);
+    Out += Buf;
+  }
+  return Out;
+}
+
+std::string phaseReport() { return phaseReport(Tracer::instance().drain()); }
+
+} // namespace parsynt

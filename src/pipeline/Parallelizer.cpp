@@ -9,6 +9,8 @@
 #include "analysis/Verifier.h"
 #include "ir/ExprOps.h"
 #include "lift/Unfold.h"
+#include "observe/Metrics.h"
+#include "observe/Tracer.h"
 #include "proof/ProofCheck.h"
 
 #include <algorithm>
@@ -126,6 +128,30 @@ PipelineResult parsynt::parallelizeLoop(const Loop &L,
   auto StartTime = std::chrono::steady_clock::now();
   PipelineResult Result;
 
+  // Root span of the whole run: every phase below (verify, analyze, join
+  // synthesis, lifting, proof, redundancy removal) nests under it. Outcome
+  // attributes are stamped when the result is final, whichever return path
+  // is taken.
+  Span Root("parallelizeLoop", trace::Pipeline);
+  Root.attr("loop", L.Name.empty() ? "<loop>" : L.Name);
+  struct RootFinisher {
+    Span &S;
+    PipelineResult &R;
+    ~RootFinisher() {
+      S.attr("success", R.Success);
+      S.attr("aux_required", R.AuxRequired);
+      S.attr("aux_count", uint64_t(R.AuxCount));
+      S.attr("sequential_fallback", R.SequentialFallback);
+      MetricsRegistry &M = MetricsRegistry::global();
+      M.counter("pipeline.runs").inc();
+      if (R.Success)
+        M.counter("pipeline.successes").inc();
+      if (R.SequentialFallback)
+        M.counter("pipeline.sequential_fallbacks").inc();
+      M.counter("pipeline.dropped_aux").add(R.DroppedAux.size());
+    }
+  } Finish{Root, Result};
+
   // The input must already be well-formed IR — catches corrupt
   // programmatically-built loops before any synthesis work.
   if (!verifyAt(L, VerifyPhase::AfterFrontend, Options, Result)) {
@@ -209,6 +235,7 @@ PipelineResult parsynt::parallelizeLoop(const Loop &L,
                           "pipeline deadline expired during lifting"};
         break;
       }
+      MetricsRegistry::global().counter("pipeline.lift_attempts").inc();
       LiftOptions LiftOpts = Options.Lift;
       LiftOpts.Unfoldings = Depth;
       LiftOpts.Preference = Preference;
@@ -273,6 +300,8 @@ PipelineResult parsynt::parallelizeLoop(const Loop &L,
   // Phase 3: remove-redundancies — drop each auxiliary (latest first) whose
   // removal still admits a join.
   if (Options.RemoveRedundant && Work.auxiliaryCount() > 0) {
+    Span Redundancy("removeRedundancies", trace::Pipeline);
+    Redundancy.attr("aux_before", uint64_t(Work.auxiliaryCount()));
     std::vector<std::string> AuxNames;
     for (const Equation &Eq : Work.Equations)
       if (Eq.IsAuxiliary)

@@ -7,6 +7,8 @@
 
 #include "proof/ProofCheck.h"
 #include "ir/ExprOps.h"
+#include "observe/Metrics.h"
+#include "observe/Tracer.h"
 #include "support/Random.h"
 
 #include <chrono>
@@ -69,6 +71,27 @@ parsynt::checkHomomorphismProof(const Loop &L,
                                 const ProofOptions &Options) {
   auto StartTime = std::chrono::steady_clock::now();
   ProofReport Report;
+  Span ProofSpan("checkHomomorphismProof", trace::Proof);
+  ProofSpan.attr("loop", L.Name.empty() ? "<loop>" : L.Name);
+  struct ProofFinisher {
+    Span &S;
+    const ProofReport &R;
+    ~ProofFinisher() {
+      S.attr("verified", R.Verified);
+      S.attr("base_checks", R.BaseChecks);
+      S.attr("step_checks", R.StepChecks);
+      if (R.Failure)
+        S.attr("obligation", R.Failure->Obligation);
+      MetricsRegistry &M = MetricsRegistry::global();
+      M.counter("proof.calls").inc();
+      M.counter("proof.base_checks").add(R.BaseChecks);
+      M.counter("proof.step_checks").add(R.StepChecks);
+      if (!R.Verified)
+        M.counter("proof.failures").inc();
+      M.histogram("proof.millis").observe(
+          static_cast<uint64_t>(R.Seconds * 1e3));
+    }
+  } Finish{ProofSpan, Report};
   Rng R(Options.Seed);
   std::vector<int64_t> Pool = elementPool(L);
 

@@ -27,6 +27,7 @@
 #ifndef PARSYNT_RUNTIME_PARALLELREDUCE_H
 #define PARSYNT_RUNTIME_PARALLELREDUCE_H
 
+#include "observe/Tracer.h"
 #include "runtime/TaskPool.h"
 
 #include <chrono>
@@ -56,6 +57,12 @@ inline uint64_t nanosSince(std::chrono::steady_clock::time_point Start) {
 
 template <typename T, typename LeafFn>
 T timedLeaf(TaskPool &Pool, LeafFn &Leaf, size_t Begin, size_t End) {
+  // The span and the pool-timing accumulator are independently gated: the
+  // span costs one relaxed load when tracing is off, and the timing branch
+  // keeps its historical behaviour when tracing is on but timing is not.
+  Span LeafSpan("leaf", trace::Runtime);
+  LeafSpan.attr("begin", uint64_t(Begin));
+  LeafSpan.attr("end", uint64_t(End));
   if (!Pool.timingEnabled())
     return Leaf(Begin, End);
   auto Start = std::chrono::steady_clock::now();
@@ -66,6 +73,7 @@ T timedLeaf(TaskPool &Pool, LeafFn &Leaf, size_t Begin, size_t End) {
 
 template <typename T, typename JoinFn>
 T timedJoin(TaskPool &Pool, JoinFn &Join, const T &Left, const T &Right) {
+  Span JoinSpan("join", trace::Runtime);
   if (!Pool.timingEnabled())
     return Join(Left, Right);
   auto Start = std::chrono::steady_clock::now();

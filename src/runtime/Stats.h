@@ -11,8 +11,10 @@
 /// enabled on the pool) leaf/join wall-time accumulated by the reduce
 /// skeleton. Counters are relaxed atomics on cache-line-padded per-worker
 /// slots, so the hot path pays one uncontended increment per event; a
-/// snapshot aggregates them into a printable table. Dumped by
-/// `bench/fig8 --stats` and `parsynt --runtime-stats`.
+/// snapshot aggregates them into plain values. Formatting lives in
+/// observe/PoolMetrics.h (poolSummary/poolTable), which routes these
+/// counters through the metric registry so `bench/fig8 --stats`,
+/// `parsynt --runtime-stats`, and the JSON run report share one code path.
 ///
 /// Header-only (C++17) so the emitted standalone programs can share it.
 ///
@@ -23,8 +25,6 @@
 
 #include <atomic>
 #include <cstdint>
-#include <cstdio>
-#include <string>
 #include <vector>
 
 namespace parsynt {
@@ -90,79 +90,6 @@ struct StatsSnapshot {
   WorkerStatsRow Total;
   uint64_t LeafCount = 0, LeafNanos = 0, JoinCount = 0, JoinNanos = 0;
   bool TimingEnabled = false;
-
-  /// One compact summary line: totals only.
-  std::string summary() const {
-    char Buf[256];
-    std::snprintf(Buf, sizeof(Buf),
-                  "spawns=%llu steals=%llu steal-fails=%llu parks=%llu",
-                  (unsigned long long)Total.Spawned,
-                  (unsigned long long)Total.Stolen,
-                  (unsigned long long)Total.StealFails,
-                  (unsigned long long)Total.Parks);
-    std::string S = Buf;
-    if (Total.Inlined) { // only under injected allocation failure
-      std::snprintf(Buf, sizeof(Buf), " inlined=%llu",
-                    (unsigned long long)Total.Inlined);
-      S += Buf;
-    }
-    if (TimingEnabled && (LeafCount || JoinCount)) {
-      std::snprintf(Buf, sizeof(Buf),
-                    " leaves=%llu (%.2f ms) joins=%llu (%.3f ms)",
-                    (unsigned long long)LeafCount, LeafNanos / 1e6,
-                    (unsigned long long)JoinCount, JoinNanos / 1e6);
-      S += Buf;
-    }
-    return S;
-  }
-
-  /// Full per-worker table.
-  std::string table() const {
-    std::string S;
-    char Buf[256];
-    std::snprintf(Buf, sizeof(Buf), "%-8s %10s %10s %10s %12s %8s %8s\n",
-                  "worker", "spawned", "executed", "stolen", "steal-fails",
-                  "parks", "inlined");
-    S += Buf;
-    for (size_t I = 0; I != Workers.size(); ++I) {
-      const WorkerStatsRow &W = Workers[I];
-      std::string Label = I == 0                 ? "caller"
-                          : I + 1 == Workers.size() ? "external"
-                                                    : "w" + std::to_string(I);
-      // The trailing "external" row only exists for unregistered threads;
-      // in the common single-caller case Workers.size() == pool size and
-      // the last dedicated worker keeps its wN label.
-      if (I != 0 && I + 1 == Workers.size() && !ExternalRow)
-        Label = "w" + std::to_string(I);
-      std::snprintf(Buf, sizeof(Buf),
-                    "%-8s %10llu %10llu %10llu %12llu %8llu %8llu\n",
-                    Label.c_str(), (unsigned long long)W.Spawned,
-                    (unsigned long long)W.Executed,
-                    (unsigned long long)W.Stolen,
-                    (unsigned long long)W.StealFails,
-                    (unsigned long long)W.Parks,
-                    (unsigned long long)W.Inlined);
-      S += Buf;
-    }
-    std::snprintf(Buf, sizeof(Buf),
-                  "%-8s %10llu %10llu %10llu %12llu %8llu %8llu\n", "total",
-                  (unsigned long long)Total.Spawned,
-                  (unsigned long long)Total.Executed,
-                  (unsigned long long)Total.Stolen,
-                  (unsigned long long)Total.StealFails,
-                  (unsigned long long)Total.Parks,
-                  (unsigned long long)Total.Inlined);
-    S += Buf;
-    if (TimingEnabled) {
-      std::snprintf(Buf, sizeof(Buf),
-                    "leaves: %llu in %.3f ms; joins: %llu in %.3f ms\n",
-                    (unsigned long long)LeafCount, LeafNanos / 1e6,
-                    (unsigned long long)JoinCount, JoinNanos / 1e6);
-      S += Buf;
-    }
-    return S;
-  }
-
   bool ExternalRow = false;
 };
 

@@ -18,7 +18,11 @@
 #ifndef PARSYNT_SUPPORT_FAILURE_H
 #define PARSYNT_SUPPORT_FAILURE_H
 
+#include "support/Json.h"
+
+#include <cstdint>
 #include <ostream>
+#include <source_location>
 #include <string>
 #include <utility>
 
@@ -57,15 +61,23 @@ inline const char *failureKindName(FailureKind K) {
   return "unknown";
 }
 
-/// A structured failure: taxonomy kind plus message. Default-constructed
-/// means "no failure".
+/// A structured failure: taxonomy kind plus message, stamped with the
+/// source location that constructed it (std::source_location captures the
+/// call site through the defaulted argument). Default-constructed means
+/// "no failure".
 struct FailureInfo {
   FailureKind Kind = FailureKind::None;
   std::string Message;
+  /// Call site that classified the failure ("" / 0 when unset). File is a
+  /// __FILE__-lifetime literal, never owned.
+  const char *File = "";
+  uint32_t Line = 0;
 
   FailureInfo() = default;
-  FailureInfo(FailureKind Kind, std::string Message)
-      : Kind(Kind), Message(std::move(Message)) {}
+  FailureInfo(FailureKind Kind, std::string Message,
+              std::source_location Loc = std::source_location::current())
+      : Kind(Kind), Message(std::move(Message)), File(Loc.file_name()),
+        Line(Loc.line()) {}
 
   bool empty() const { return Kind == FailureKind::None && Message.empty(); }
   explicit operator bool() const { return !empty(); }
@@ -73,6 +85,8 @@ struct FailureInfo {
   void clear() {
     Kind = FailureKind::None;
     Message.clear();
+    File = "";
+    Line = 0;
   }
 
   /// "[kind] message" (just the message when no kind was classified).
@@ -80,6 +94,31 @@ struct FailureInfo {
     if (Kind == FailureKind::None)
       return Message;
     return std::string("[") + failureKindName(Kind) + "] " + Message;
+  }
+
+  /// The one serialization of a failure that `--report json` and the
+  /// exit-code taxonomy share: compact JSON with kind + message + the
+  /// classifying source location (location omitted when unset).
+  std::string toJson() const {
+    std::string Out = "{\"kind\":\"";
+    Out += failureKindName(Kind);
+    Out += "\",\"message\":\"";
+    Out += jsonEscape(Message);
+    Out += "\"";
+    if (File && File[0] != '\0') {
+      // Strip the build-tree prefix: report paths relative to src/.
+      std::string Path = File;
+      size_t Src = Path.rfind("/src/");
+      if (Src != std::string::npos)
+        Path = Path.substr(Src + 5);
+      Out += ",\"source\":{\"file\":\"";
+      Out += jsonEscape(Path);
+      Out += "\",\"line\":";
+      Out += std::to_string(Line);
+      Out += "}";
+    }
+    Out += "}";
+    return Out;
   }
 };
 

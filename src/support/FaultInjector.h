@@ -125,6 +125,27 @@ public:
     return 0;
   }
 
+  /// A point-in-time view of one configured fault point.
+  struct PointSnapshot {
+    std::string Name;
+    uint64_t Polls = 0;
+    uint64_t Fires = 0;
+  };
+
+  /// Every configured point with its counters, in configuration order —
+  /// lets the run report record fault firings without knowing the point
+  /// names in advance. Safe to call while polls are in flight (counters
+  /// are atomics; the Points vector only changes via configure()/reset(),
+  /// which already must not race polls).
+  std::vector<PointSnapshot> pointSnapshots() const {
+    std::vector<PointSnapshot> Out;
+    Out.reserve(Points.size());
+    for (const auto &P : Points)
+      Out.push_back({P->Name, P->Polls.load(std::memory_order_relaxed),
+                     P->Fires.load(std::memory_order_relaxed)});
+    return Out;
+  }
+
 private:
   struct PointState {
     std::string Name;

@@ -1,0 +1,199 @@
+//===- support/Json.h - Minimal JSON writer ---------------------*- C++ -*-===//
+//
+// Part of Parsynt-CXX, a reproduction of "Synthesis of Divide and Conquer
+// Parallelism for Loops" (PLDI 2017).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small streaming JSON writer for the run-report and trace exporters.
+/// No DOM, no parsing — just correctly escaped, deterministic output. The
+/// writer tracks container nesting and inserts commas, so call sites read
+/// like the document they produce:
+///
+///   JsonWriter W;
+///   W.beginObject();
+///   W.key("schema").string("parsynt-run-report");
+///   W.key("benchmarks").beginArray();
+///   ...
+///   W.endArray();
+///   W.endObject();
+///   puts(W.str().c_str());
+///
+/// Pretty-printing (2-space indent) is on by default so the archived
+/// BENCH_*.json artifacts diff line-by-line across PRs.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PARSYNT_SUPPORT_JSON_H
+#define PARSYNT_SUPPORT_JSON_H
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace parsynt {
+
+/// Escapes \p S for inclusion inside a JSON string literal (quotes not
+/// included).
+inline std::string jsonEscape(const std::string &S) {
+  std::string Out;
+  Out.reserve(S.size());
+  for (char C : S) {
+    switch (C) {
+    case '"':
+      Out += "\\\"";
+      break;
+    case '\\':
+      Out += "\\\\";
+      break;
+    case '\n':
+      Out += "\\n";
+      break;
+    case '\t':
+      Out += "\\t";
+      break;
+    case '\r':
+      Out += "\\r";
+      break;
+    default:
+      if (static_cast<unsigned char>(C) < 0x20) {
+        char Buf[8];
+        std::snprintf(Buf, sizeof(Buf), "\\u%04x", C);
+        Out += Buf;
+      } else {
+        Out += C;
+      }
+    }
+  }
+  return Out;
+}
+
+class JsonWriter {
+public:
+  explicit JsonWriter(bool Pretty = true) : Pretty(Pretty) {}
+
+  JsonWriter &beginObject() {
+    prefix();
+    Out += '{';
+    Stack.push_back({/*IsObject=*/true, /*Count=*/0});
+    return *this;
+  }
+  JsonWriter &endObject() {
+    bool Empty = Stack.back().Count == 0;
+    Stack.pop_back();
+    if (!Empty)
+      newlineIndent();
+    Out += '}';
+    return *this;
+  }
+  JsonWriter &beginArray() {
+    prefix();
+    Out += '[';
+    Stack.push_back({/*IsObject=*/false, /*Count=*/0});
+    return *this;
+  }
+  JsonWriter &endArray() {
+    bool Empty = Stack.back().Count == 0;
+    Stack.pop_back();
+    if (!Empty)
+      newlineIndent();
+    Out += ']';
+    return *this;
+  }
+
+  /// Emits the member key; must be followed by exactly one value call.
+  JsonWriter &key(const std::string &K) {
+    separator();
+    newlineIndent();
+    Out += '"';
+    Out += jsonEscape(K);
+    Out += Pretty ? "\": " : "\":";
+    HavePendingKey = true;
+    return *this;
+  }
+
+  JsonWriter &string(const std::string &V) {
+    prefix();
+    Out += '"';
+    Out += jsonEscape(V);
+    Out += '"';
+    return *this;
+  }
+  JsonWriter &number(int64_t V) {
+    prefix();
+    Out += std::to_string(V);
+    return *this;
+  }
+  JsonWriter &number(uint64_t V) {
+    prefix();
+    Out += std::to_string(V);
+    return *this;
+  }
+  JsonWriter &number(int V) { return number(static_cast<int64_t>(V)); }
+  JsonWriter &number(unsigned V) { return number(static_cast<uint64_t>(V)); }
+  JsonWriter &number(double V) {
+    prefix();
+    char Buf[40];
+    std::snprintf(Buf, sizeof(Buf), "%.6f", V);
+    Out += Buf;
+    return *this;
+  }
+  JsonWriter &boolean(bool V) {
+    prefix();
+    Out += V ? "true" : "false";
+    return *this;
+  }
+  JsonWriter &null() {
+    prefix();
+    Out += "null";
+    return *this;
+  }
+  /// Splices pre-rendered JSON (e.g. FailureInfo::toJson()) as a value.
+  JsonWriter &raw(const std::string &Json) {
+    prefix();
+    Out += Json;
+    return *this;
+  }
+
+  const std::string &str() const { return Out; }
+
+private:
+  struct Frame {
+    bool IsObject;
+    unsigned Count;
+  };
+
+  /// Value-position bookkeeping: consumes a pending key, or separates and
+  /// indents an array element.
+  void prefix() {
+    if (HavePendingKey) {
+      HavePendingKey = false;
+      return;
+    }
+    if (!Stack.empty()) {
+      separator();
+      newlineIndent();
+    }
+  }
+  void separator() {
+    if (!Stack.empty() && Stack.back().Count++ > 0)
+      Out += ',';
+  }
+  void newlineIndent() {
+    if (!Pretty)
+      return;
+    Out += '\n';
+    Out.append(Stack.size() * 2, ' ');
+  }
+
+  bool Pretty;
+  bool HavePendingKey = false;
+  std::string Out;
+  std::vector<Frame> Stack;
+};
+
+} // namespace parsynt
+
+#endif // PARSYNT_SUPPORT_JSON_H

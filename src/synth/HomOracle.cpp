@@ -7,6 +7,8 @@
 
 #include "synth/HomOracle.h"
 #include "ir/ExprOps.h"
+#include "observe/Metrics.h"
+#include "observe/Tracer.h"
 
 #include <algorithm>
 #include <set>
@@ -77,6 +79,12 @@ JoinExample HomOracle::makeExample(const SeqEnv &LeftSeqs,
 }
 
 void HomOracle::buildInitialTests() {
+  Span TestSpan("buildInitialTests", trace::Oracle);
+  struct TestFinisher {
+    Span &S;
+    const std::vector<JoinExample> &Tests;
+    ~TestFinisher() { S.attr("tests", uint64_t(Tests.size())); }
+  } Finish{TestSpan, Tests};
   // Parameter bindings: a few fixed draws reused across the exhaustive part
   // so parameterized loops (poly) see more than one evaluation point.
   std::vector<Env> ParamDraws;
@@ -217,6 +225,8 @@ std::optional<JoinExample>
 HomOracle::findCounterexample(const std::vector<ExprRef> &Join,
                               unsigned Rounds) {
   assert(Join.size() == L.Equations.size() && "join arity mismatch");
+  Span CexSpan("findCounterexample", trace::Oracle);
+  CexSpan.attr("rounds", uint64_t(Rounds));
   // Widen the value pool beyond the synthesis pool to catch coincidences.
   std::vector<int64_t> Wide = Pool;
   Wide.push_back(17);
@@ -233,10 +243,15 @@ HomOracle::findCounterexample(const std::vector<ExprRef> &Join,
         randomExample(MaxLen, Round % 2 ? Focused : Wide, R);
     Env E = combinedEnv(Example);
     for (size_t I = 0; I != Join.size(); ++I) {
-      if (evalExpr(Join[I], E) != Example.Expected[I])
+      if (evalExpr(Join[I], E) != Example.Expected[I]) {
+        CexSpan.attr("found", true);
+        CexSpan.attr("at_round", uint64_t(Round));
+        MetricsRegistry::global().counter("oracle.counterexamples").inc();
         return Example;
+      }
     }
   }
+  CexSpan.attr("found", false);
   return std::nullopt;
 }
 

@@ -8,6 +8,8 @@
 #include "synth/JoinSynth.h"
 #include "ir/ExprOps.h"
 #include "normalize/Simplify.h"
+#include "observe/Metrics.h"
+#include "observe/Tracer.h"
 #include "support/FaultInjector.h"
 #include "synth/Enumerator.h"
 #include "synth/Sketch.h"
@@ -186,6 +188,10 @@ JoinResult parsynt::synthesizeJoin(const Loop &L,
   Result.Components.resize(L.Equations.size());
   Result.FromFallback.assign(L.Equations.size(), false);
 
+  Span Root("synthesizeJoin", trace::Synth);
+  Root.attr("loop", L.Name.empty() ? "<loop>" : L.Name);
+  Root.attr("equations", uint64_t(L.Equations.size()));
+
   // One combined deadline governs the oracle, the enumerators, and every
   // search below; unarmed inputs reproduce the un-deadlined search exactly.
   const Deadline DL = Deadline::sooner(Options.Timeout, Options.Oracle.Timeout);
@@ -198,6 +204,22 @@ JoinResult parsynt::synthesizeJoin(const Loop &L,
   for (unsigned Round = 0; Round <= Options.CegisRounds; ++Round) {
     Result.Stats.CegisIterations = Round;
     Result.Stats.TestsUsed = static_cast<unsigned>(Oracle.tests().size());
+
+    // One span per CEGIS round; assignment/candidate attributes are deltas
+    // for this round, the counterexample attribute is stamped after
+    // validation.
+    Span RoundSpan("cegisRound", trace::Synth);
+    RoundSpan.attr("round", uint64_t(Round));
+    RoundSpan.attr("tests", uint64_t(Oracle.tests().size()));
+    uint64_t RoundAssignmentsBase = Result.Stats.SketchAssignmentsTried;
+    uint64_t RoundCandidatesBase = Result.Stats.EnumeratedCandidates;
+    auto stampRound = [&](bool Solved) {
+      RoundSpan.attr("solved", Solved);
+      RoundSpan.attr("assignments", Result.Stats.SketchAssignmentsTried -
+                                        RoundAssignmentsBase);
+      RoundSpan.attr("candidates", Result.Stats.EnumeratedCandidates -
+                                       RoundCandidatesBase);
+    };
 
     // Test environments for enumeration: the combined envs of all tests.
     std::vector<Env> CombEnvs;
@@ -218,6 +240,8 @@ JoinResult parsynt::synthesizeJoin(const Loop &L,
     }
     if (!Options.UseSketch)
       MaxLR = std::max(MaxLR, Options.FreeMaxSize);
+    MetricsRegistry::global().gauge("synth.sketch.max_lr").set(MaxLR);
+    MetricsRegistry::global().gauge("synth.sketch.max_r").set(MaxR);
 
     struct PoolGroup {
       Enumerator ELR;
@@ -287,6 +311,9 @@ JoinResult parsynt::synthesizeJoin(const Loop &L,
       ExprRef Component;
       bool Fallback = false;
 
+      Span EqSpan("equation", trace::Synth);
+      EqSpan.attr("name", Eq.Name);
+
       if (DL.expired()) {
         AllSolved = false;
         Result.Failure = {FailureKind::Timeout,
@@ -314,6 +341,7 @@ JoinResult parsynt::synthesizeJoin(const Loop &L,
           ++Result.Stats.SeedsAccepted;
           Result.Components[I] = Component;
           Result.FromFallback[I] = false;
+          EqSpan.attr("seeded", true);
           continue;
         }
       }
@@ -410,8 +438,10 @@ JoinResult parsynt::synthesizeJoin(const Loop &L,
       if (!Component) {
         // The dependence restriction is a heuristic; never let it change
         // what is synthesizable. Retry over the full variable set.
-        if (Allowed)
+        if (Allowed) {
           ++Result.Stats.RestrictionRetries;
+          EqSpan.attr("restriction_retry", true);
+        }
         Component = solveWith(getGroup(nullptr), /*Restricted=*/false);
       }
 
@@ -474,6 +504,7 @@ JoinResult parsynt::synthesizeJoin(const Loop &L,
       }
 
       if (!Component) {
+        EqSpan.attr("solved", false);
         AllSolved = false;
         if (DL.expired()) {
           // FailedEquation stays empty: a timed-out equation is not
@@ -493,9 +524,11 @@ JoinResult parsynt::synthesizeJoin(const Loop &L,
       }
       Result.Components[I] = Component;
       Result.FromFallback[I] = Fallback;
+      EqSpan.attr("fallback", Fallback);
     }
 
     if (!AllSolved) {
+      stampRound(false);
       Result.Success = false;
       break;
     }
@@ -503,6 +536,8 @@ JoinResult parsynt::synthesizeJoin(const Loop &L,
     // CEGIS validation on fresh inputs.
     auto Cex = Oracle.findCounterexample(Result.Components,
                                          Options.VerifyRounds);
+    stampRound(true);
+    RoundSpan.attr("counterexample", Cex.has_value());
     if (!Cex) {
       // Soundness: a timed-out validation also reports "no counterexample
       // found" — never promote that to Success.
@@ -549,6 +584,28 @@ JoinResult parsynt::synthesizeJoin(const Loop &L,
       std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                     StartTime)
           .count();
+
+  Root.attr("success", Result.Success);
+  Root.attr("rounds", uint64_t(Result.Stats.CegisIterations));
+  Root.attr("assignments", Result.Stats.SketchAssignmentsTried);
+  Root.attr("seeds_accepted", uint64_t(Result.Stats.SeedsAccepted));
+
+  // Metrics are flushed once per call (accumulated in Stats during the
+  // search), keeping the hot search loops free of shared-counter traffic.
+  MetricsRegistry &M = MetricsRegistry::global();
+  M.counter("synth.calls").inc();
+  // CegisIterations is zero-based (0 = solved on the first round); the
+  // counter records rounds actually executed.
+  M.counter("synth.cegis.rounds").add(Result.Stats.CegisIterations + 1);
+  M.counter("synth.sketch.assignments")
+      .add(Result.Stats.SketchAssignmentsTried);
+  M.counter("synth.candidates.enumerated")
+      .add(Result.Stats.EnumeratedCandidates);
+  M.counter("synth.seeds.accepted").add(Result.Stats.SeedsAccepted);
+  M.counter("synth.restriction.retries")
+      .add(Result.Stats.RestrictionRetries);
+  M.histogram("synth.join.millis")
+      .observe(static_cast<uint64_t>(Result.Stats.Seconds * 1e3));
   return Result;
 }
 

@@ -5,6 +5,7 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "observe/PoolMetrics.h"
 #include "pipeline/Parallelizer.h"
 #include "runtime/InterpReduce.h"
 #include "runtime/ParallelReduce.h"
@@ -226,8 +227,8 @@ TEST(TaskPool, StatsCountersAddUp) {
   EXPECT_EQ(Snap.Total.Executed, Snap.Total.Spawned);
   EXPECT_EQ(Snap.LeafCount, Leaves);
   EXPECT_EQ(Snap.JoinCount, Joins);
-  EXPECT_FALSE(Snap.summary().empty());
-  EXPECT_FALSE(Snap.table().empty());
+  EXPECT_FALSE(poolSummary(Snap).empty());
+  EXPECT_FALSE(poolTable(Snap).empty());
 
   Pool.resetStats();
   StatsSnapshot Zero = Pool.statsSnapshot();

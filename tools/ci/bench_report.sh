@@ -1,0 +1,66 @@
+#!/usr/bin/env bash
+# Benchmark report CI: builds Release, runs both bench harnesses in
+# `--report json` mode, validates the documents against the
+# parsynt-run-report schema, and archives them at the repository root as
+# BENCH_table1.json and BENCH_fig8.json.
+#
+# Usage: tools/ci/bench_report.sh [build-dir]
+#   (default build dir: build-bench)
+#
+# Environment: PARSYNT_FIG8_ELEMS / PARSYNT_FIG8_THREADS pass through to
+# the Figure-8 harness; CI boxes with few cores should set a reduced
+# element count to keep the sweep short.
+
+set -euo pipefail
+
+if [[ "${1:-}" == -* ]]; then
+  sed -n '2,12p' "$0" | sed 's/^# \{0,1\}//'
+  exit 2
+fi
+
+cd "$(dirname "$0")/../.."
+BUILD="${1:-build-bench}"
+JOBS="$(nproc 2>/dev/null || echo 4)"
+
+cmake -B "${BUILD}" -S . -DCMAKE_BUILD_TYPE=Release
+cmake --build "${BUILD}" -j "${JOBS}" --target table1 fig8
+
+# The JSON document owns stdout in report mode; the human tables go to
+# stderr and stay visible in the CI log.
+"${BUILD}/bench/table1" --report json > BENCH_table1.json
+"${BUILD}/bench/fig8" --report json > BENCH_fig8.json
+
+# Schema gate: a malformed or incomplete document fails the job. The
+# checks mirror the envelope documented in DESIGN.md §5e — consumers key
+# on schema/version, per-benchmark outcome, and the totals block.
+validate() {
+  python3 - "$1" "$2" "$3" <<'EOF'
+import json, sys
+path, tool, min_benchmarks = sys.argv[1], sys.argv[2], int(sys.argv[3])
+doc = json.load(open(path))
+assert doc["schema"] == "parsynt-run-report", f"{path}: bad schema tag"
+assert doc["version"] == 1, f"{path}: unknown schema version"
+assert doc["tool"] == tool, f"{path}: tool is {doc['tool']!r}, want {tool!r}"
+benches = doc["benchmarks"]
+assert len(benches) >= min_benchmarks, \
+    f"{path}: only {len(benches)} benchmarks, want >= {min_benchmarks}"
+for b in benches:
+    assert b["outcome"] in ("success", "failure"), \
+        f"{path}: {b['name']}: bad outcome {b['outcome']!r}"
+    assert "phase_seconds" in b and "metrics" in b, \
+        f"{path}: {b['name']}: missing phase_seconds/metrics"
+    if b["outcome"] == "failure":
+        assert "failure" in b, f"{path}: {b['name']}: failure without cause"
+totals = doc["totals"]
+assert totals["benchmarks"] == len(benches), f"{path}: totals mismatch"
+assert totals["successes"] + totals["failures"] == len(benches), \
+    f"{path}: totals do not add up"
+print(f"{path}: ok ({len(benches)} benchmarks, "
+      f"{totals['successes']} successes)")
+EOF
+}
+
+validate BENCH_table1.json table1 22
+validate BENCH_fig8.json fig8 22
+
+echo "bench_report.sh: reports archived"

@@ -43,6 +43,22 @@ chaos_smoke() {
     "${bin}" --benchmark mps --selftest >/dev/null
 }
 
+# Trace smoke: a Table-1 benchmark with tracing on must still solve, and
+# the exported file must be a loadable Chrome trace with spans in it.
+trace_smoke() {
+  local bin="$1" out
+  out="$(mktemp)"
+  "${bin}" --benchmark mts --trace "${out}" --phase-report >/dev/null
+  python3 - "${out}" <<'EOF'
+import json, sys
+events = json.load(open(sys.argv[1]))["traceEvents"]
+assert events, "trace smoke: no spans recorded"
+assert any(e["name"] == "synthesizeJoin" for e in events), \
+    "trace smoke: no synthesis span"
+EOF
+  rm -f "${out}"
+}
+
 echo "== ASan + UBSan =="
 cmake -B "${PREFIX}-asan" -S . \
   -DPARSYNT_SANITIZE=address \
@@ -58,6 +74,9 @@ PARSYNT_FIG8_ELEMS=200000 ASAN_OPTIONS=abort_on_error=1 \
 echo "== chaos smoke (ASan) =="
 ASAN_OPTIONS=abort_on_error=1 UBSAN_OPTIONS=halt_on_error=1 \
   chaos_smoke "${PREFIX}-asan/tools/parsynt"
+echo "== trace smoke (ASan) =="
+ASAN_OPTIONS=abort_on_error=1 UBSAN_OPTIONS=halt_on_error=1 \
+  trace_smoke "${PREFIX}-asan/tools/parsynt"
 
 echo "== TSan (runtime / task-pool tests) =="
 cmake -B "${PREFIX}-tsan" -S . \
@@ -70,14 +89,19 @@ cmake --build "${PREFIX}-tsan" -j "${JOBS}"
 # is prohibitively slow). runtime_test carries the work-stealing pool's
 # dedicated races: grain-1 recursion at 2-64 threads, oversubscribed
 # nested waits, concurrent external drivers, and the park/wake handshake.
+# The observe suites join them: per-thread trace buffers are drained while
+# pool workers publish spans, and the metrics counters are hammered from
+# eight threads at once.
 TSAN_OPTIONS=halt_on_error=1 \
   ctest --test-dir "${PREFIX}-tsan" --output-on-failure -j "${JOBS}" \
   --no-tests=error \
-  -R '^(TaskPool|ParallelReduce|SequentialReduce|InterpReduce|EmitCpp|Representative)'
+  -R '^(TaskPool|ParallelReduce|SequentialReduce|InterpReduce|EmitCpp|Representative|Tracer|TracerOff|TraceExport|Metrics|PoolMetrics|Report)'
 # Scheduler smoke under TSan as well (all 22 kernels through the pool).
 PARSYNT_FIG8_ELEMS=200000 TSAN_OPTIONS=halt_on_error=1 \
   "${PREFIX}-tsan/bench/fig8" --stats > /dev/null
 echo "== chaos smoke (TSan) =="
 TSAN_OPTIONS=halt_on_error=1 chaos_smoke "${PREFIX}-tsan/tools/parsynt"
+echo "== trace smoke (TSan) =="
+TSAN_OPTIONS=halt_on_error=1 trace_smoke "${PREFIX}-tsan/tools/parsynt"
 
 echo "sanitize.sh: all clean"

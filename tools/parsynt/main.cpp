@@ -21,6 +21,14 @@
 //          --runtime-stats        with --selftest: print the scheduler's
 //                                 per-worker spawn/steal/park counters and
 //                                 leaf/join timings after the runs
+//          --trace <path>         record structured spans across the whole
+//                                 pipeline and write a Chrome/Perfetto JSON
+//                                 trace (load in ui.perfetto.dev)
+//          --phase-report         print per-phase wall time, span counts,
+//                                 and the hottest spans (implies tracing)
+//          --report json          print a machine-readable run report
+//                                 (schema observe/Report.h) on stdout; the
+//                                 human-readable output moves to stderr
 //          --timeout <dur>        whole-loop wall-clock budget
 //          --join-timeout <dur>   budget for each join-synthesis call
 //          --lift-timeout <dur>   budget for each lifting attempt
@@ -41,6 +49,10 @@
 #include "analysis/Verifier.h"
 #include "codegen/EmitCpp.h"
 #include "frontend/Convert.h"
+#include "observe/PoolMetrics.h"
+#include "observe/Report.h"
+#include "observe/TraceExport.h"
+#include "observe/Tracer.h"
 #include "pipeline/Parallelizer.h"
 #include "proof/DafnyEmit.h"
 #include "proof/ProofCheck.h"
@@ -64,6 +76,10 @@ constexpr int ExitSynthFailure = 1;
 constexpr int ExitUsage = 2;
 constexpr int ExitTimeout = 3;
 
+/// Human-readable output stream: stdout normally, stderr under
+/// `--report json` so the JSON document owns stdout.
+FILE *HumanOut = stdout;
+
 int usage() {
   std::fprintf(stderr,
                "usage: parsynt [<file> | --benchmark <name> | --list]\n"
@@ -71,6 +87,8 @@ int usage() {
                "[--emit-cpp <path>]\n"
                "               [--check-proof] [--selftest] "
                "[--runtime-stats]\n"
+               "               [--trace <path>] [--phase-report] "
+               "[--report json]\n"
                "               [--timeout <dur>] [--join-timeout <dur>] "
                "[--lift-timeout <dur>]\n"
                "durations: '500ms', '2s', '1m', or plain seconds\n"
@@ -124,28 +142,30 @@ bool runSelfTest(const PipelineResult &Result, bool RuntimeStats) {
     StateTuple Par = parallelRunLoop(L, Result.Join.Components, Seqs, Pool,
                                      /*Grain=*/64, Params);
     if (Seq != Par) {
-      std::printf("selftest MISMATCH at round %u\n  sequential: %s\n  "
-                  "parallel:   %s\n",
-                  Round, stateToString(L, Seq).c_str(),
-                  stateToString(L, Par).c_str());
+      std::fprintf(HumanOut,
+                   "selftest MISMATCH at round %u\n  sequential: %s\n  "
+                   "parallel:   %s\n",
+                   Round, stateToString(L, Seq).c_str(),
+                   stateToString(L, Par).c_str());
       return false;
     }
   }
   if (Result.SequentialFallback)
-    std::printf("selftest: 20 sequential-fallback runs match the "
-                "sequential loop\n");
+    std::fprintf(HumanOut, "selftest: 20 sequential-fallback runs match the "
+                           "sequential loop\n");
   else
-    std::printf("selftest: 20 parallel runs match the sequential loop\n");
+    std::fprintf(HumanOut,
+                 "selftest: 20 parallel runs match the sequential loop\n");
   if (RuntimeStats)
-    std::printf("runtime stats (%u threads):\n%s",
-                Pool.threadCount(), Pool.statsSnapshot().table().c_str());
+    std::fprintf(HumanOut, "runtime stats (%u threads):\n%s",
+                 Pool.threadCount(), poolTable(Pool.statsSnapshot()).c_str());
   return true;
 }
 
 int run(int argc, char **argv, std::string &CurrentInput) {
-  std::string File, BenchmarkName, DafnyPath, CppPath;
+  std::string File, BenchmarkName, DafnyPath, CppPath, TracePath;
   bool CheckProof = false, SelfTest = false, List = false, Analyze = false;
-  bool RuntimeStats = false;
+  bool RuntimeStats = false, PhaseReport = false, ReportJson = false;
   PipelineOptions Options;
 
   for (int I = 1; I < argc; ++I) {
@@ -156,7 +176,20 @@ int run(int argc, char **argv, std::string &CurrentInput) {
       DafnyPath = argv[++I];
     else if (Arg == "--emit-cpp" && I + 1 < argc)
       CppPath = argv[++I];
-    else if ((Arg == "--timeout" || Arg == "--join-timeout" ||
+    else if (Arg == "--trace" && I + 1 < argc)
+      TracePath = argv[++I];
+    else if (Arg == "--phase-report")
+      PhaseReport = true;
+    else if (Arg == "--report") {
+      if (I + 1 >= argc || std::string(argv[I + 1]) != "json") {
+        std::fprintf(stderr,
+                     "error: --report takes the format 'json' (got '%s')\n",
+                     I + 1 < argc ? argv[I + 1] : "<nothing>");
+        return ExitUsage;
+      }
+      ++I;
+      ReportJson = true;
+    } else if ((Arg == "--timeout" || Arg == "--join-timeout" ||
               Arg == "--lift-timeout") &&
              I + 1 < argc) {
       double Seconds = parseDuration(argv[++I]);
@@ -188,6 +221,11 @@ int run(int argc, char **argv, std::string &CurrentInput) {
     else
       File = Arg;
   }
+
+  if (ReportJson)
+    HumanOut = stderr;
+  if (PhaseReport || !TracePath.empty())
+    Tracer::setEnabled(true);
 
   if (List) {
     for (const Benchmark &B : allBenchmarks())
@@ -230,21 +268,37 @@ int run(int argc, char **argv, std::string &CurrentInput) {
 
   if (Analyze) {
     DependenceInfo Info = analyzeDependences(L);
-    std::printf("%s", Info.table().c_str());
+    std::fprintf(HumanOut, "%s", Info.table().c_str());
     VerifierReport Report = verifyLoop(L, VerifyPhase::AfterFrontend);
     if (!Report.ok()) {
-      std::printf("%s", Report.str().c_str());
+      std::fprintf(HumanOut, "%s", Report.str().c_str());
       return ExitSynthFailure;
     }
-    std::printf("verifier: ok (%zu state variables, %zu sccs)\n",
-                Info.Vars.size(), Info.Sccs.size());
+    std::fprintf(HumanOut, "verifier: ok (%zu state variables, %zu sccs)\n",
+                 Info.Vars.size(), Info.Sccs.size());
     return ExitSuccess;
   }
 
   PipelineResult Result = parallelizeLoop(L, Options);
-  std::printf("%s", Result.report().c_str());
-  std::printf("times: join %.2fs, lift %.2fs, total %.2fs\n",
-              Result.JoinSeconds, Result.LiftSeconds, Result.TotalSeconds);
+  std::fprintf(HumanOut, "%s", Result.report().c_str());
+  std::fprintf(HumanOut, "times: join %.2fs, lift %.2fs, total %.2fs\n",
+               Result.JoinSeconds, Result.LiftSeconds, Result.TotalSeconds);
+
+  // Every post-pipeline exit goes through here so `--report json` covers
+  // failures and timeouts with the same schema as successes.
+  double ProofSeconds = -1;
+  const std::string ReportName =
+      !BenchmarkName.empty() ? BenchmarkName : File;
+  auto finish = [&](int Code) {
+    if (ReportJson) {
+      RunReport Report;
+      Report.Tool = "parsynt";
+      Report.Benchmarks.push_back(
+          makeBenchmarkEntry(ReportName, Result, ProofSeconds));
+      std::printf("%s", Report.toJson().c_str());
+    }
+    return Code;
+  };
 
   if (!Result.Success) {
     // Graceful degradation: the sequential fallback is still emittable
@@ -253,55 +307,101 @@ int run(int argc, char **argv, std::string &CurrentInput) {
     if (!CppPath.empty() && Result.SequentialFallback) {
       std::ofstream Out(CppPath);
       Out << emitParallelCpp(Result.Final, Result.Join.Components);
-      std::printf("wrote sequential fallback C++ to %s (build: g++ -O2 "
-                  "-std=c++17 -pthread -I <parsynt>/src %s)\n",
-                  CppPath.c_str(), CppPath.c_str());
+      std::fprintf(HumanOut,
+                   "wrote sequential fallback C++ to %s (build: g++ -O2 "
+                   "-std=c++17 -pthread -I <parsynt>/src %s)\n",
+                   CppPath.c_str(), CppPath.c_str());
     }
     if (SelfTest && Result.SequentialFallback)
       runSelfTest(Result, RuntimeStats);
-    return Result.Failure.Kind == FailureKind::Timeout ? ExitTimeout
-                                                       : ExitSynthFailure;
+    return finish(Result.Failure.Kind == FailureKind::Timeout
+                      ? ExitTimeout
+                      : ExitSynthFailure);
   }
 
   if (CheckProof) {
     ProofReport Proof =
         checkHomomorphismProof(Result.Final, Result.Join.Components);
-    std::printf("%s\n", Proof.str().c_str());
+    ProofSeconds = Proof.Seconds;
+    std::fprintf(HumanOut, "%s\n", Proof.str().c_str());
     if (!Proof.Verified)
-      return ExitSynthFailure;
+      return finish(ExitSynthFailure);
   }
   if (!DafnyPath.empty()) {
     std::ofstream Out(DafnyPath);
     Out << emitDafnyProof(Result.Final, Result.Join.Components);
-    std::printf("wrote Dafny artifact to %s\n", DafnyPath.c_str());
+    std::fprintf(HumanOut, "wrote Dafny artifact to %s\n", DafnyPath.c_str());
   }
   if (!CppPath.empty()) {
     std::ofstream Out(CppPath);
     Out << emitParallelCpp(Result.Final, Result.Join.Components);
-    std::printf("wrote parallel C++ to %s (build: g++ -O2 -std=c++17 "
-                "-pthread -I <parsynt>/src %s)\n",
-                CppPath.c_str(), CppPath.c_str());
+    std::fprintf(HumanOut,
+                 "wrote parallel C++ to %s (build: g++ -O2 -std=c++17 "
+                 "-pthread -I <parsynt>/src %s)\n",
+                 CppPath.c_str(), CppPath.c_str());
   }
   if (SelfTest && !runSelfTest(Result, RuntimeStats))
-    return ExitSynthFailure;
-  return ExitSuccess;
+    return finish(ExitSynthFailure);
+  return finish(ExitSuccess);
+}
+
+/// The internal-error epilogue. When `--report json` was requested the
+/// caught exception's message is preserved in the report's failure entry
+/// instead of being dropped on stderr only.
+int internalError(const std::string &Input, const std::string &Message,
+                  bool ReportJson) {
+  std::fprintf(stderr, "parsynt: internal error while processing %s: %s\n",
+               Input.c_str(), Message.c_str());
+  if (ReportJson) {
+    RunReport Report;
+    Report.Tool = "parsynt";
+    BenchmarkEntry E;
+    E.Name = Input;
+    E.Failure = FailureInfo(FailureKind::InternalError, Message);
+    Report.Benchmarks.push_back(std::move(E));
+    std::printf("%s", Report.toJson().c_str());
+  }
+  return ExitSynthFailure;
 }
 
 } // namespace
 
 int main(int argc, char **argv) {
   std::string CurrentInput = "<no input>";
-  try {
-    return run(argc, argv, CurrentInput);
-  } catch (const std::exception &E) {
-    std::fprintf(stderr, "parsynt: internal error while processing %s: %s\n",
-                 CurrentInput.c_str(), E.what());
-    return ExitSynthFailure;
-  } catch (...) {
-    std::fprintf(stderr,
-                 "parsynt: internal error while processing %s: unknown "
-                 "exception\n",
-                 CurrentInput.c_str());
-    return ExitSynthFailure;
+  // Pre-scan the observability flags so the error paths still honor them:
+  // an internal error must flush the trace and produce the report.
+  std::string TracePath;
+  bool PhaseReport = false, ReportJson = false;
+  for (int I = 1; I < argc; ++I) {
+    std::string Arg = argv[I];
+    if (Arg == "--trace" && I + 1 < argc)
+      TracePath = argv[++I];
+    else if (Arg == "--phase-report")
+      PhaseReport = true;
+    else if (Arg == "--report" && I + 1 < argc &&
+             std::string(argv[I + 1]) == "json")
+      ReportJson = true;
   }
+  if (PhaseReport || !TracePath.empty())
+    Tracer::setEnabled(true);
+
+  int Code;
+  try {
+    Code = run(argc, argv, CurrentInput);
+  } catch (const std::exception &E) {
+    Code = internalError(CurrentInput, E.what(), ReportJson);
+  } catch (...) {
+    Code = internalError(CurrentInput, "unknown exception", ReportJson);
+  }
+
+  if (PhaseReport)
+    std::fprintf(ReportJson ? stderr : stdout, "%s", phaseReport().c_str());
+  if (!TracePath.empty()) {
+    std::string Error;
+    if (writeTraceFile(TracePath, &Error))
+      std::fprintf(stderr, "wrote trace to %s\n", TracePath.c_str());
+    else
+      std::fprintf(stderr, "parsynt: %s\n", Error.c_str());
+  }
+  return Code;
 }
